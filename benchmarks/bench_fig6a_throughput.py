@@ -1,0 +1,113 @@
+"""Figure 6a: all-to-all exchange throughput versus cluster size.
+
+The paper's microbenchmark: a cyclic dataflow repeatedly exchanges a
+fixed number of 8-byte records between all computers.  Three lines:
+"Ideal" (aggregate NIC bandwidth), ".NET Socket" (achievable with large
+messages and no data-plane costs) and "Naiad" (per-record serialization
+and partitioning overheads included).  The paper finds Naiad scales
+linearly but below the socket line; the same shape must emerge here.
+
+Synthetic record batches let the experiment move the paper's full 50M
+records per computer through the real routing/progress code paths.
+"""
+
+from repro.core import Timestamp, Vertex
+from repro.lib import Loop, Stream
+from repro.runtime import ClusterComputation, CostModel, SyntheticRecords
+
+from bench_harness import format_table, report
+
+RECORDS_PER_COMPUTER = 50_000_000
+RECORD_BYTES = 8
+ITERATIONS = 3
+COMPUTERS = [2, 4, 8, 16, 32]
+
+
+class AllToAllVertex(Vertex):
+    """Sends one synthetic batch to every worker, each iteration."""
+
+    def __init__(self):
+        super().__init__()
+        self.sent = set()
+
+    def on_recv(self, port, records, timestamp: Timestamp) -> None:
+        if timestamp in self.sent:
+            return
+        self.sent.add(timestamp)
+        per_dest = RECORDS_PER_COMPUTER // self.peers
+        batch = [
+            SyntheticRecords(per_dest, RECORD_BYTES, dest=dest)
+            for dest in range(self.peers)
+        ]
+        self.send_by(0, batch, timestamp)
+
+
+def run_exchange(num_computers: int, cost_model: CostModel) -> float:
+    """Returns aggregate application throughput in bytes/second."""
+    comp = ClusterComputation(
+        num_processes=num_computers,
+        workers_per_process=1,
+        cost_model=cost_model,
+        progress_mode="local+global",
+    )
+    inp = comp.new_input()
+    loop = Loop(comp, max_iterations=ITERATIONS, name="exchange")
+    stage = comp.graph.new_stage(
+        "exchange", lambda s, w: AllToAllVertex(), 2, 1, context=loop.context
+    )
+    Stream.from_input(inp).enter(loop).connect_to(stage, 0)
+    Stream(comp, stage, 0).connect_to(loop._feedback, 0)
+    loop._feedback_connected = True
+    loop.feedback_stream().connect_to(stage, 1, partitioner=lambda b: b.dest)
+    comp.build()
+    inp.on_next(list(range(num_computers)))  # one token per worker
+    inp.on_completed()
+    comp.run()
+    assert comp.drained(), comp.debug_state()
+    payload = comp.network.stats.bytes("data")
+    return payload / comp.now
+
+
+def test_fig6a_throughput(benchmark):
+    # Exchange-calibrated costs: the vertex does nothing per record, so
+    # the per-record charge models only partitioning + serialization of
+    # an 8-byte record (the paper: "near worst-case overheads for
+    # serialization and evaluating the partitioning function").
+    naiad_costs = CostModel(
+        per_record_cost=20e-9, serialize_per_byte=4e-9, deserialize_per_byte=4e-9
+    )
+    # "Socket level": big buffers, no per-record data-plane costs.
+    socket_costs = CostModel(
+        per_record_cost=0.0, serialize_per_byte=0.0, deserialize_per_byte=0.0
+    )
+
+    def experiment():
+        rows = []
+        for computers in COMPUTERS:
+            ideal = computers * 125e6
+            socket = run_exchange(computers, socket_costs)
+            naiad = run_exchange(computers, naiad_costs)
+            rows.append((computers, ideal, socket, naiad))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = format_table(
+        ["computers", "ideal Gb/s", "socket Gb/s", "naiad Gb/s"],
+        [
+            (c, "%.1f" % (i * 8e-9), "%.1f" % (s * 8e-9), "%.1f" % (n * 8e-9))
+            for c, i, s, n in rows
+        ],
+    )
+    report("fig6a_throughput", table)
+
+    by_computers = {c: (i, s, n) for c, i, s, n in rows}
+    # Ordering: naiad < socket <= ideal at every size.
+    for computers, (ideal, socket, naiad) in by_computers.items():
+        assert naiad < socket <= ideal * 1.001
+    # Naiad throughput scales roughly linearly (per-computer throughput
+    # at the largest size within 2x of the smallest size's).
+    smallest, largest = COMPUTERS[0], COMPUTERS[-1]
+    per_node_small = by_computers[smallest][2] / smallest
+    per_node_large = by_computers[largest][2] / largest
+    assert per_node_large > per_node_small / 2

@@ -1,0 +1,123 @@
+"""Figure 6b: global barrier (coordination) latency versus cluster size.
+
+The paper's microbenchmark: a cyclic dataflow whose vertices exchange no
+data and simply request and receive completeness notifications; no
+iteration proceeds until every notification of the previous iteration
+is delivered.  The paper reports a 753 µs median at 64 computers and a
+95th percentile that degrades with cluster size as micro-stragglers
+(packet loss, GC) bite.
+
+Here each iteration is one frontier advance of the distributed progress
+protocol with local+global accumulation, under a network with a small
+packet-loss probability and GC pauses (section 3.5's mitigated
+configuration: 20 ms retransmit timers, Nagle off).
+"""
+
+from repro.core import Timestamp, Vertex
+from repro.lib import Loop, Stream
+from repro.runtime import ClusterComputation
+from repro.sim import NetworkConfig
+
+from bench_harness import format_table, human_time, percentile, report
+
+ITERATIONS = 120
+COMPUTERS = [2, 4, 8, 16, 32]
+
+
+class BarrierVertex(Vertex):
+    """Requests a notification per iteration and records delivery times."""
+
+    def __init__(self, iterations, clock, samples):
+        super().__init__()
+        self.iterations = iterations
+        self.clock = clock
+        self.samples = samples
+
+    def on_recv(self, port, records, timestamp: Timestamp) -> None:
+        self.notify_at(timestamp)
+
+    def on_notify(self, timestamp: Timestamp) -> None:
+        if self.worker == 0:
+            self.samples.append(self.clock())
+        iteration = timestamp.counters[-1]
+        if iteration + 1 < self.iterations:
+            self.notify_at(timestamp.incremented())
+
+
+def run_barrier(num_computers: int, seed: int = 0):
+    comp = ClusterComputation(
+        num_processes=num_computers,
+        workers_per_process=1,
+        progress_mode="local+global",
+        network=NetworkConfig(
+            packet_loss_probability=0.0004,
+            retransmit_timeout=20e-3,
+            gc_interval=2.0,
+            gc_pause=5e-3,
+        ),
+        seed=seed,
+    )
+    samples = []
+    inp = comp.new_input()
+    loop = Loop(comp, max_iterations=ITERATIONS, name="barrier")
+    stage = comp.graph.new_stage(
+        "barrier",
+        lambda s, w: BarrierVertex(ITERATIONS, lambda: comp.now, samples),
+        2,
+        1,
+        context=loop.context,
+    )
+    Stream.from_input(inp).enter(loop).connect_to(stage, 0)
+    Stream(comp, stage, 0).connect_to(loop._feedback, 0)
+    loop._feedback_connected = True
+    loop.feedback_stream().connect_to(stage, 1)
+    comp.build()
+    inp.on_next(list(range(num_computers)))
+    inp.on_completed()
+    comp.run()
+    assert comp.drained(), comp.debug_state()
+    intervals = [b - a for a, b in zip(samples, samples[1:])]
+    return intervals
+
+
+def test_fig6b_barrier_latency(benchmark):
+    def experiment():
+        results = {}
+        for computers in COMPUTERS:
+            intervals = run_barrier(computers)
+            results[computers] = {
+                "median": percentile(intervals, 0.50),
+                "q1": percentile(intervals, 0.25),
+                "q3": percentile(intervals, 0.75),
+                "p95": percentile(intervals, 0.95),
+            }
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = format_table(
+        ["computers", "q1", "median", "q3", "95th"],
+        [
+            (
+                c,
+                human_time(r["q1"]),
+                human_time(r["median"]),
+                human_time(r["q3"]),
+                human_time(r["p95"]),
+            )
+            for c, r in sorted(results.items())
+        ],
+    )
+    report("fig6b_barrier_latency", table)
+
+    smallest = results[COMPUTERS[0]]
+    largest = results[COMPUTERS[-1]]
+    # Median barrier latency stays sub-2ms even at the largest size
+    # (the paper: 753 us at 64 computers).
+    assert largest["median"] < 2e-3
+    # The straggler tail: the 95th percentile degrades with cluster
+    # size much faster than the median does.
+    assert largest["p95"] / largest["median"] > smallest["p95"] / smallest["median"]
+    assert largest["p95"] > 4 * largest["median"]
+    # Medians grow only modestly with cluster size.
+    assert largest["median"] < 8 * smallest["median"]

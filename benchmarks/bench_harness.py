@@ -1,0 +1,67 @@
+"""Shared utilities for the paper-reproduction benchmarks.
+
+Every ``bench_*.py`` file regenerates one table or figure from the
+paper's evaluation: it really executes the workload on the simulated
+cluster (and the relevant baselines), prints rows shaped like the
+paper's, asserts the qualitative findings (who wins, by roughly what
+factor, where the knees fall), and appends a report to
+``benchmarks/results/``.  Absolute numbers come from calibrated cost
+models, not the authors' hardware — EXPERIMENTS.md records both sides.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def report(name: str, lines: Iterable[str]) -> str:
+    """Print a benchmark report and persist it under results/."""
+    text = "\n".join(lines)
+    banner = "\n=== %s ===\n%s\n" % (name, text)
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "%s.txt" % name), "w") as handle:
+        handle.write(text + "\n")
+    return banner
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Simple aligned text table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return lines
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a list of samples."""
+    if not values:
+        raise ValueError("no samples")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[index]
+
+
+def human_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.2f s" % seconds
+    if seconds >= 1e-3:
+        return "%.2f ms" % (seconds * 1e3)
+    return "%.0f us" % (seconds * 1e6)
+
+
+def human_bytes(count: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if count < 1024:
+            return "%.1f %s" % (count, unit)
+        count /= 1024.0
+    return "%.1f TB" % count

@@ -1,0 +1,170 @@
+"""Table 1: PageRank / SCC / WCC / ASP versus batch systems.
+
+Najork et al. run the four algorithms over the ClueWeb09 Category A web
+graph on PDW, DryadLINQ and SHS; the paper reruns them on Naiad with 16
+equivalent computers and reports speedups up to ~600x, attributed to
+keeping application state in memory between iterations (no per-job
+reload/serialize) and to incremental algorithms that do less work per
+iteration.
+
+Reproduction: a scaled-down synthetic web graph; Naiad times from the
+simulated 16-computer cluster; baseline times from the executable
+batch engine in its three personalities (same algorithms, dense
+bulk-synchronous iterations, per-iteration state serialization).  The
+claim checked is the *shape*: Naiad wins every row by a large factor,
+and the baseline ordering matches Najork et al.
+"""
+
+import random
+
+from repro.lib import Stream
+from repro.algorithms import (
+    approximate_shortest_paths,
+    pagerank_vertex,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.baselines import DRYADLINQ, PDW, SHS, BatchIterativeEngine
+from repro.runtime import ClusterComputation, CostModel
+from repro.workloads import power_law_graph
+
+from bench_harness import format_table, human_time, report
+
+COMPUTERS = 16
+PAGERANK_ITERATIONS = 10
+LANDMARKS = [0, 1, 2, 3]
+
+#: Web-like graph: power-law out-degrees plus random "back" links so
+#: non-trivial strongly connected components exist.
+def make_web_graph(num_nodes=1200, seed=7):
+    edges = power_law_graph(num_nodes, edges_per_node=3, seed=seed)
+    rng = random.Random(seed)
+    edges += [
+        (rng.randrange(num_nodes), rng.randrange(num_nodes))
+        for _ in range(num_nodes // 2)
+    ]
+    return edges
+
+
+GRAPH = make_web_graph()
+
+
+def cluster():
+    return ClusterComputation(
+        num_processes=COMPUTERS,
+        workers_per_process=1,
+        progress_mode="local+global",
+    )
+
+
+def run_naiad(builder) -> float:
+    comp = cluster()
+    inp = comp.new_input()
+    builder(Stream.from_input(inp)).subscribe(lambda t, recs: None)
+    comp.build()
+    inp.on_next(GRAPH)
+    inp.on_completed()
+    comp.run()
+    assert comp.drained(), comp.debug_state()
+    return comp.now
+
+
+def run_naiad_scc() -> float:
+    holder = {}
+
+    def factory():
+        holder["comp"] = cluster()
+        return holder["comp"]
+
+    strongly_connected_components(factory, GRAPH)
+    return holder["comp"].now
+
+
+def test_table1_graph_algorithms(benchmark):
+    def experiment():
+        naiad = {
+            "PageRank": run_naiad(
+                lambda s: pagerank_vertex(s, iterations=PAGERANK_ITERATIONS)
+            ),
+            "SCC": run_naiad_scc(),
+            "WCC": run_naiad(weakly_connected_components),
+            "ASP": run_naiad(
+                lambda s: approximate_shortest_paths(s, LANDMARKS)
+            ),
+        }
+        baselines = {}
+        for name, costs in [("PDW", PDW), ("DryadLINQ", DRYADLINQ), ("SHS", SHS)]:
+            times = {}
+            engine = BatchIterativeEngine(COMPUTERS, costs)
+            engine.pagerank(GRAPH, iterations=PAGERANK_ITERATIONS)
+            times["PageRank"] = engine.elapsed
+            engine = BatchIterativeEngine(COMPUTERS, costs)
+            engine.scc(GRAPH)
+            times["SCC"] = engine.elapsed
+            engine = BatchIterativeEngine(COMPUTERS, costs)
+            engine.wcc(GRAPH)
+            times["WCC"] = engine.elapsed
+            engine = BatchIterativeEngine(COMPUTERS, costs)
+            engine.asp(GRAPH, LANDMARKS)
+            times["ASP"] = engine.elapsed
+            baselines[name] = times
+        return naiad, baselines
+
+    naiad, baselines = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    algorithms = ["PageRank", "SCC", "WCC", "ASP"]
+    rows = []
+    for algorithm in algorithms:
+        rows.append(
+            (
+                algorithm,
+                human_time(baselines["PDW"][algorithm]),
+                human_time(baselines["DryadLINQ"][algorithm]),
+                human_time(baselines["SHS"][algorithm]),
+                human_time(naiad[algorithm]),
+                "%.0fx" % (baselines["DryadLINQ"][algorithm] / naiad[algorithm]),
+            )
+        )
+    lines = format_table(
+        ["algorithm", "PDW", "DryadLINQ", "SHS", "Naiad", "vs DryadLINQ"],
+        rows,
+    )
+    # At benchmark scale, fixed job overheads dominate the executable
+    # baselines (SHS's lower per-job overhead makes it look fastest).
+    # At the ClueWeb Category A scale the per-record terms dominate and
+    # the ordering matches Najork et al.: extrapolate one PageRank row.
+    clueweb_nodes, clueweb_edges = 1_000_000_000, 8_000_000_000
+    extrapolated = {
+        name: BatchIterativeEngine(COMPUTERS, costs).estimate_time(
+            clueweb_edges + clueweb_nodes, clueweb_nodes, PAGERANK_ITERATIONS
+        )
+        for name, costs in [("PDW", PDW), ("DryadLINQ", DRYADLINQ), ("SHS", SHS)]
+    }
+    lines.append("")
+    lines.append(
+        "PageRank extrapolated to ClueWeb Category A (1B pages, 8B edges):"
+    )
+    lines.extend(
+        format_table(
+            ["system", "estimated", "paper"],
+            [
+                ("PDW", human_time(extrapolated["PDW"]), "156,982 s"),
+                ("DryadLINQ", human_time(extrapolated["DryadLINQ"]), "68,791 s"),
+                ("SHS", human_time(extrapolated["SHS"]), "836,455 s"),
+            ],
+        )
+    )
+    report("table1_graph_algorithms", lines)
+    assert extrapolated["DryadLINQ"] < extrapolated["PDW"] < extrapolated["SHS"]
+
+    # Naiad wins every row by a large factor (the paper: 24x-600x).
+    for algorithm in algorithms:
+        for system in ("PDW", "DryadLINQ", "SHS"):
+            assert baselines[system][algorithm] / naiad[algorithm] > 10, (
+                algorithm,
+                system,
+            )
+    # Every engine personality pays at least one job overhead per
+    # iteration; Naiad's whole run is faster than a single batch job
+    # launch (the in-memory-state argument in its starkest form).
+    assert max(naiad.values()) < DRYADLINQ.job_overhead

@@ -1,0 +1,67 @@
+"""The Figure 1 application: real-time queries on streaming analytics.
+
+A tweet stream feeds an incremental connected-components computation
+over the graph of user mentions; hashtags are joined with component
+labels and the most popular hashtag per component is maintained
+incrementally.  Interactive queries ask "what's trending in my
+component?" and are answered with fresh, consistent results (section
+6.4) — this is the application the paper says no other system could run
+at interactive timescales.
+
+Run:  python examples/interactive_graph_analytics.py
+"""
+
+from repro import Computation
+from repro.lib import Stream
+from repro.algorithms import hashtag_component_app
+from repro.workloads import Tweet, TweetGenerator, TweetStreamConfig
+
+
+def main():
+    comp = Computation()
+    tweets_in = comp.new_input("tweets")
+    queries_in = comp.new_input("queries")
+
+    def on_response(timestamp, responses):
+        for query_id, user, hashtag in responses:
+            print(
+                "  [epoch %d] %s: user %s's component is talking about %s"
+                % (timestamp.epoch, query_id, user, hashtag or "(nothing yet)")
+            )
+
+    hashtag_component_app(
+        Stream.from_input(tweets_in),
+        Stream.from_input(queries_in),
+        on_response,
+        fresh=True,
+    )
+    comp.build()
+
+    generator = TweetGenerator(
+        TweetStreamConfig(num_users=300, num_hashtags=20, seed=8)
+    )
+    for epoch in range(5):
+        batch = generator.batch(100)
+        queries = [(generator.query(), "q%d" % epoch)]
+        print(
+            "epoch %d: %d tweets (%d mentions, %d hashtags), querying user %s"
+            % (
+                epoch,
+                len(batch),
+                sum(len(t.mentions) for t in batch),
+                sum(len(t.hashtags) for t in batch),
+                queries[0][0],
+            )
+        )
+        tweets_in.on_next(batch)
+        queries_in.on_next(queries)
+        comp.run()  # answers appear as each epoch completes
+
+    tweets_in.on_completed()
+    queries_in.on_completed()
+    comp.run()
+    assert comp.drained()
+
+
+if __name__ == "__main__":
+    main()

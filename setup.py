@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Metadata lives in setup.cfg; this file exists so that legacy editable
+installs (``pip install -e .``) work in offline environments without the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — a Python reproduction of "Naiad: a timely dataflow system".
+
+The package is organised as the paper's software stack (Figure 2):
+
+- :mod:`repro.core` — the timely dataflow model: timestamps, path
+  summaries, progress tracking, the vertex API and a single-threaded
+  reference scheduler (sections 2 and 4.3).
+- :mod:`repro.sim` — a discrete-event simulation substrate used to model
+  a cluster (network links, stragglers) in virtual time.
+- :mod:`repro.runtime` — the distributed runtime of section 3, executed
+  on the simulator: workers, exchange connectors, the broadcast-based
+  progress protocol with local/global accumulators, checkpointing.
+- :mod:`repro.lib` — high-level libraries of section 4: LINQ-style
+  operators, loops/iterate, Bloom-style asynchronous operators, Pregel,
+  AllReduce and incremental (differential-style) collections.
+- :mod:`repro.algorithms` — the applications of sections 5 and 6.
+- :mod:`repro.workloads` — synthetic dataset generators.
+- :mod:`repro.baselines` — the comparison systems of section 6.
+
+Quickstart::
+
+    from repro import Computation
+    from repro.lib import Stream
+
+    comp = Computation()
+    words = Stream.from_input(comp.new_input("lines"))
+    counts = (
+        words.select_many(str.split)
+             .count_by(lambda word: word)
+             .subscribe(lambda t, records: print(t.epoch, sorted(records)))
+    )
+    comp.build()
+    comp.inputs[0].on_next(["a b a"])
+    comp.run()
+"""
+
+from .core import (
+    Computation,
+    InputHandle,
+    Pointstamp,
+    Timestamp,
+    Vertex,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Computation",
+    "InputHandle",
+    "Pointstamp",
+    "Timestamp",
+    "Vertex",
+    "__version__",
+]

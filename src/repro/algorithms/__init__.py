@@ -1,0 +1,71 @@
+"""Applications from the paper's evaluation (sections 5 and 6).
+
+Every algorithm runs unchanged on the reference runtime
+(:class:`repro.core.Computation`) and the simulated cluster
+(:class:`repro.runtime.ClusterComputation`); each module also ships a
+plain-Python oracle used by the tests.
+"""
+
+from .connectivity import (
+    MinLabelVertex,
+    label_propagation,
+    wcc_oracle,
+    weakly_connected_components,
+)
+from .hashtag_components import (
+    QueryVertex,
+    app_oracle,
+    hashtag_component_app,
+    top_hashtags_by_component,
+)
+from .kexposure import k_exposure
+from .logistic import (
+    TrainVertex,
+    local_gradient,
+    logistic_oracle,
+    logistic_regression,
+    make_dataset,
+)
+from .pagerank import (
+    PageRankVertex,
+    pagerank_edge,
+    pagerank_oracle,
+    pagerank_pregel,
+    pagerank_vertex,
+)
+from .scc import scc_oracle, strongly_connected_components
+from .shortest_paths import (
+    MultiSourceBfsVertex,
+    approximate_shortest_paths,
+    asp_oracle,
+)
+from .wordcount import wordcount, wordcount_with_combiner
+
+__all__ = [
+    "MinLabelVertex",
+    "MultiSourceBfsVertex",
+    "PageRankVertex",
+    "QueryVertex",
+    "TrainVertex",
+    "app_oracle",
+    "approximate_shortest_paths",
+    "asp_oracle",
+    "hashtag_component_app",
+    "k_exposure",
+    "label_propagation",
+    "local_gradient",
+    "logistic_oracle",
+    "logistic_regression",
+    "make_dataset",
+    "pagerank_edge",
+    "pagerank_oracle",
+    "pagerank_pregel",
+    "pagerank_vertex",
+    "scc_oracle",
+    "strongly_connected_components",
+    "top_hashtags_by_component",
+    "wcc_oracle",
+    "weakly_connected_components",
+    "wordcount",
+    "wordcount_with_combiner",
+]

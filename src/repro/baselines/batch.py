@@ -1,0 +1,249 @@
+"""Batch-dataflow baselines for Table 1 (DryadLINQ, PDW, SHS).
+
+Najork et al. [34] compare a distributed database (PDW), a
+general-purpose batch processor (DryadLINQ) and a disk-based graph
+store (SHS) on PageRank/SCC/WCC/ASP.  The structural property Table 1
+isolates is that these systems have **no cross-iteration in-memory
+state**: every iteration is a fresh job that reloads, recomputes over
+the *entire* graph (dense iterations — no sparse/asynchronous
+convergence), reshuffles, and rewrites its state.
+
+:class:`BatchIterativeEngine` really executes the algorithms (the
+results are checked against the same oracles as the Naiad versions) in
+that dense bulk-synchronous style and charges a virtual-time cost per
+iteration:
+
+    t_iter = job_overhead                        (scheduling, task launch)
+           + state r/w:   2 * state_bytes / (disk_bw * machines)
+           + shuffle:     shuffle_bytes / (net_bw * machines)
+           + compute:     touched_records * per_record / machines
+
+PDW and SHS are expressed as calibrated variants: PDW pays relational
+per-record overheads (query compilation, join machinery), SHS pays
+per-edge random-access storage reads.  Constants are chosen so
+single-system behaviour matches the published ratios' order of
+magnitude; the reproduction claim is the *shape* (Naiad's in-memory,
+sparse iterations win by 1-3 orders of magnitude), not absolute values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+Edge = Tuple[Any, Any]
+
+
+@dataclass
+class BatchCosts:
+    """Virtual-time constants for one engine personality."""
+
+    #: Per-iteration job scheduling/launch overhead, seconds.
+    job_overhead: float = 4.0
+    #: Aggregate disk bandwidth per machine, bytes/s.
+    disk_bandwidth: float = 100e6
+    #: Aggregate network bandwidth per machine, bytes/s.
+    network_bandwidth: float = 125e6
+    #: CPU cost per record touched, seconds.
+    per_record: float = 2e-7
+    #: Serialized bytes per record of state.
+    record_bytes: int = 16
+
+
+DRYADLINQ = BatchCosts()
+#: PDW: relational execution — query startup and per-record overheads.
+PDW = BatchCosts(job_overhead=8.0, per_record=6e-7, record_bytes=32)
+#: SHS: disk-resident graph store — every edge access hits storage.
+SHS = BatchCosts(
+    job_overhead=2.0, disk_bandwidth=30e6, per_record=1e-6, record_bytes=24
+)
+
+
+class BatchIterativeEngine:
+    """A miniature DryadLINQ-style iterative batch processor."""
+
+    def __init__(self, num_machines: int = 16, costs: BatchCosts = DRYADLINQ):
+        self.num_machines = num_machines
+        self.costs = costs
+        self.elapsed = 0.0
+        self.iterations_run = 0
+
+    # ------------------------------------------------------------------
+    # Cost accounting.
+    # ------------------------------------------------------------------
+
+    def estimate_time(
+        self, touched_records: int, state_records: int, iterations: int
+    ) -> float:
+        """Analytic per-iteration cost at arbitrary (paper) scale.
+
+        The executable engine runs scaled-down inputs; Table 1 also
+        reports extrapolations at the ClueWeb Category A scale, where
+        the per-record and storage terms (not job overhead) dominate
+        and the engine personalities separate as in Najork et al.
+        """
+        costs, machines = self.costs, self.num_machines
+        state_bytes = state_records * costs.record_bytes
+        shuffle_bytes = touched_records * costs.record_bytes
+        per_iteration = (
+            costs.job_overhead
+            + 2.0 * state_bytes / (costs.disk_bandwidth * machines)
+            + shuffle_bytes / (costs.network_bandwidth * machines)
+            + touched_records * costs.per_record / machines
+        )
+        return per_iteration * iterations
+
+    def _charge_iteration(self, touched_records: int, state_records: int) -> None:
+        costs, machines = self.costs, self.num_machines
+        state_bytes = state_records * costs.record_bytes
+        shuffle_bytes = touched_records * costs.record_bytes
+        self.elapsed += (
+            costs.job_overhead
+            + 2.0 * state_bytes / (costs.disk_bandwidth * machines)
+            + shuffle_bytes / (costs.network_bandwidth * machines)
+            + touched_records * costs.per_record / machines
+        )
+        self.iterations_run += 1
+
+    # ------------------------------------------------------------------
+    # The four Table 1 algorithms, dense bulk-synchronous style.
+    # ------------------------------------------------------------------
+
+    def pagerank(
+        self, edges: Sequence[Edge], iterations: int = 10
+    ) -> Dict[Any, float]:
+        out_edges: Dict[Any, List[Any]] = {}
+        for src, dst in edges:
+            out_edges.setdefault(src, []).append(dst)
+            out_edges.setdefault(dst, [])
+        ranks = {node: 1.0 for node in out_edges}
+        for _ in range(1, iterations):
+            acc = {node: 0.0 for node in out_edges}
+            for node, targets in out_edges.items():
+                if targets:
+                    share = ranks[node] / len(targets)
+                    for dst in targets:
+                        acc[dst] += share
+            ranks = {node: 0.15 + 0.85 * acc[node] for node in out_edges}
+            self._charge_iteration(
+                touched_records=len(edges) + len(out_edges),
+                state_records=len(out_edges),
+            )
+        return ranks
+
+    def wcc(self, edges: Sequence[Edge]) -> Dict[Any, Any]:
+        adjacency: Dict[Any, List[Any]] = {}
+        for u, v in edges:
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+        labels = {node: node for node in adjacency}
+        changed = True
+        while changed:
+            changed = False
+            updates = {}
+            # Dense: every node re-examines every neighbour each round.
+            for node, neighbours in adjacency.items():
+                best = min(
+                    [labels[node]] + [labels[nbr] for nbr in neighbours]
+                )
+                if best < labels[node]:
+                    updates[node] = best
+            for node, label in updates.items():
+                labels[node] = label
+                changed = True
+            self._charge_iteration(
+                touched_records=2 * len(edges) + len(adjacency),
+                state_records=len(adjacency),
+            )
+        return labels
+
+    def asp(
+        self, edges: Sequence[Edge], landmarks: Sequence[Any]
+    ) -> Dict[Tuple[Any, Any], int]:
+        adjacency: Dict[Any, List[Any]] = {}
+        for u, v in edges:
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+        distances: Dict[Tuple[Any, Any], int] = {}
+        frontier: Dict[Any, List[Any]] = {}
+        for landmark in landmarks:
+            distances[(landmark, landmark)] = 0
+            frontier.setdefault(landmark, []).append(landmark)
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: Dict[Any, List[Any]] = {}
+            for node, lms in frontier.items():
+                for neighbour in adjacency.get(node, ()):
+                    for landmark in lms:
+                        if (neighbour, landmark) not in distances:
+                            distances[(neighbour, landmark)] = depth
+                            next_frontier.setdefault(neighbour, []).append(landmark)
+            frontier = next_frontier
+            # Dense batch BFS: the whole distance relation is re-joined
+            # with the edge relation every round.
+            self._charge_iteration(
+                touched_records=2 * len(edges) * len(landmarks),
+                state_records=len(distances),
+            )
+        return distances
+
+    def scc(self, edges: Sequence[Edge]) -> Dict[Any, Any]:
+        nodes = set()
+        for u, v in edges:
+            nodes.add(u)
+            nodes.add(v)
+        remaining_edges = list(edges)
+        remaining_nodes = set(nodes)
+        assignment: Dict[Any, Any] = {}
+        while remaining_nodes:
+            colors = self._dense_minlabel(
+                remaining_nodes, remaining_edges, forward=True
+            )
+            same_color = [
+                (u, v) for u, v in remaining_edges if colors[u] == colors[v]
+            ]
+            marks = self._dense_minlabel(
+                remaining_nodes, same_color, forward=False
+            )
+            done = {
+                node
+                for node in remaining_nodes
+                if marks[node] == colors[node]
+            }
+            for node in done:
+                assignment[node] = colors[node]
+            remaining_nodes -= done
+            remaining_edges = [
+                (u, v)
+                for u, v in remaining_edges
+                if u in remaining_nodes and v in remaining_nodes
+            ]
+        return assignment
+
+    def _dense_minlabel(
+        self, nodes: Iterable[Any], edges: Sequence[Edge], forward: bool
+    ) -> Dict[Any, Any]:
+        adjacency: Dict[Any, List[Any]] = {}
+        for u, v in edges:
+            if forward:
+                adjacency.setdefault(u, []).append(v)
+            else:
+                adjacency.setdefault(v, []).append(u)
+        labels = {node: node for node in nodes}
+        changed = True
+        node_count = len(labels)
+        while changed:
+            changed = False
+            for node, targets in adjacency.items():
+                label = labels[node]
+                for target in targets:
+                    if label < labels[target]:
+                        labels[target] = label
+                        changed = True
+            self._charge_iteration(
+                touched_records=len(edges) + node_count,
+                state_records=node_count,
+            )
+        return labels

@@ -1,0 +1,112 @@
+"""A PowerGraph-style GAS engine (Figure 7a's comparison system).
+
+PowerGraph [16] partitions *edges* across machines (a vertex cut) and
+runs gather-apply-scatter supersteps; a vertex whose edges span k
+machines keeps k mirrors that exchange gathered sums and updated values
+each superstep.  This engine really executes GAS PageRank over a greedy
+vertex-cut partition and charges virtual time:
+
+    t_iter = max_machine_edges * per_edge                (compute)
+           + 2 * replication_traffic / bandwidth         (gather + scatter sync)
+           + barrier latency
+
+which exposes the quantity PowerGraph optimises: the replication
+factor of the cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+Edge = Tuple[Any, Any]
+
+
+@dataclass
+class GasCosts:
+    per_edge: float = 150e-9
+    per_vertex: float = 100e-9
+    value_bytes: int = 16
+    network_bandwidth: float = 125e6
+    barrier_latency: float = 1e-3
+
+
+class PowerGraphEngine:
+    """Greedy vertex-cut GAS execution with a per-iteration time model."""
+
+    def __init__(self, num_machines: int = 8, costs: GasCosts = GasCosts()):
+        self.num_machines = num_machines
+        self.costs = costs
+        self.elapsed = 0.0
+        self.per_iteration: List[float] = []
+
+    # ------------------------------------------------------------------
+
+    def partition(self, edges: Sequence[Edge]) -> List[List[Edge]]:
+        """Greedy vertex-cut: place each edge where its endpoints already
+        have mirrors, preferring the least-loaded machine (the heuristic
+        from the PowerGraph paper)."""
+        machines: List[List[Edge]] = [[] for _ in range(self.num_machines)]
+        mirrors: Dict[Any, Set[int]] = {}
+        average = max(1.0, len(edges) / self.num_machines)
+        for index, (u, v) in enumerate(edges):
+            mu = mirrors.get(u, set())
+            mv = mirrors.get(v, set())
+            both = mu & mv
+            either = mu | mv
+            if both:
+                candidates = both
+            elif either:
+                candidates = either
+            else:
+                candidates = set(range(self.num_machines))
+            target = min(candidates, key=lambda m: len(machines[m]))
+            # Balance clause: when the preferred machines are overloaded
+            # relative to the emptiest one, cut the vertex instead (this
+            # is what produces replication > 1 on skewed graphs).
+            lightest = min(range(self.num_machines), key=lambda m: len(machines[m]))
+            if len(machines[target]) > len(machines[lightest]) + 0.2 * average:
+                target = lightest
+            machines[target].append((u, v))
+            mirrors.setdefault(u, set()).add(target)
+            mirrors.setdefault(v, set()).add(target)
+        self._mirrors = mirrors
+        return machines
+
+    def replication_factor(self) -> float:
+        if not self._mirrors:
+            return 0.0
+        return sum(len(m) for m in self._mirrors.values()) / len(self._mirrors)
+
+    # ------------------------------------------------------------------
+
+    def pagerank(
+        self, edges: Sequence[Edge], iterations: int = 10
+    ) -> Dict[Any, float]:
+        machines = self.partition(edges)
+        costs = self.costs
+        out_degree: Dict[Any, int] = {}
+        nodes: Set[Any] = set()
+        for u, v in edges:
+            out_degree[u] = out_degree.get(u, 0) + 1
+            nodes.add(u)
+            nodes.add(v)
+        ranks = {node: 1.0 for node in nodes}
+        max_edges = max((len(m) for m in machines), default=0)
+        sync_values = sum(len(m) - 1 for m in self._mirrors.values())
+        iteration_time = (
+            max_edges * costs.per_edge
+            + len(nodes) * costs.per_vertex / self.num_machines
+            + 2 * sync_values * costs.value_bytes
+            / (costs.network_bandwidth * self.num_machines)
+            + costs.barrier_latency
+        )
+        for _ in range(1, iterations):
+            acc = {node: 0.0 for node in nodes}
+            # Gather is distributed over machines; semantics are global.
+            for u, v in edges:
+                acc[v] += ranks[u] / out_degree[u]
+            ranks = {node: 0.15 + 0.85 * acc[node] for node in nodes}
+            self.elapsed += iteration_time
+            self.per_iteration.append(iteration_time)
+        return ranks

@@ -1,0 +1,86 @@
+"""Vowpal Wabbit's binary-tree AllReduce iteration model (Figure 7b).
+
+The paper's Figure 7b compares unmodified VW (three-phase iterations
+with a binary-tree AllReduce) against VW hosted in Naiad with the
+data-parallel AllReduce.  This module models one VW iteration:
+
+1. per-process state update — constant in the process count;
+2. local training — linear speedup with the process count;
+3. binary-tree AllReduce — pipelined, but an interior tree node's NIC
+   carries four vector-lengths of traffic (two subtrees up, two down)
+   versus the data-parallel AllReduce's uniform ``2 (p-1)/p``, and the
+   tree pays one coordination latency per level each way.  With
+   measured send/receive overlap the tree's bottleneck NIC serializes
+   an effective ``2.7 V`` (calibrated so the asymptotic gap matches the
+   paper's ~35%); the tree is also the variant the paper calls
+   "inherently more susceptible to stragglers" and blind to
+   intra-computer locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+
+@dataclass
+class VwCosts:
+    #: Phase 1: per-iteration state update, seconds (constant).
+    state_update: float = 0.4
+    #: Per-record local training cost, seconds.
+    per_record: float = 2.5e-7
+    #: Network bandwidth per NIC, bytes/s.
+    bandwidth: float = 125e6
+    #: Per-message latency (round setup), seconds.
+    latency: float = 300e-6
+
+
+def vw_iteration_time(
+    num_processes: int,
+    total_records: int,
+    vector_bytes: int,
+    costs: VwCosts = VwCosts(),
+) -> float:
+    """One unmodified-VW iteration (tree AllReduce)."""
+    compute = costs.state_update + total_records * costs.per_record / num_processes
+    if num_processes <= 1:
+        return compute
+    levels = ceil(log2(num_processes))
+    allreduce = (
+        2.7 * vector_bytes / costs.bandwidth + 2 * levels * costs.latency
+    )
+    return compute + allreduce
+
+
+def naiad_iteration_time(
+    num_processes: int,
+    total_records: int,
+    vector_bytes: int,
+    costs: VwCosts = VwCosts(),
+) -> float:
+    """One Naiad-hosted VW iteration (data-parallel AllReduce).
+
+    Reduce-scatter and all-gather each move ``(p-1)/p`` of the vector
+    through every NIC concurrently; two notification waves coordinate.
+    """
+    compute = costs.state_update + total_records * costs.per_record / num_processes
+    if num_processes <= 1:
+        return compute
+    share = vector_bytes * (num_processes - 1) / num_processes
+    allreduce = 2 * share / costs.bandwidth + 2 * costs.latency
+    return compute + allreduce
+
+
+def speedup_curve(
+    process_counts,
+    total_records: int,
+    vector_bytes: int,
+    variant=vw_iteration_time,
+    costs: VwCosts = VwCosts(),
+):
+    """Speedup versus a single process, per Figure 7b's axes."""
+    base = variant(1, total_records, vector_bytes, costs)
+    return [
+        (p, base / variant(p, total_records, vector_bytes, costs))
+        for p in process_counts
+    ]

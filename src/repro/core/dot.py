@@ -1,0 +1,82 @@
+"""Graphviz DOT rendering of timely dataflow graphs.
+
+``to_dot(graph)`` produces a DOT description with loop contexts drawn
+as nested clusters and the system stages (ingress/egress/feedback)
+visually distinguished — handy when debugging graph construction or
+documenting a dataflow's shape.
+
+The output is plain text; render it with ``dot -Tsvg`` or any Graphviz
+viewer.  No Graphviz dependency is required to generate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .graph import DataflowGraph, LoopContext, Stage, StageKind
+
+_SHAPES = {
+    StageKind.INPUT: "invhouse",
+    StageKind.INGRESS: "rarrow",
+    StageKind.EGRESS: "larrow",
+    StageKind.FEEDBACK: "invtriangle",
+    StageKind.NORMAL: "box",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(graph: DataflowGraph, name: str = "dataflow") -> str:
+    """Render the logical graph (stages and connectors) as DOT text."""
+    lines: List[str] = [
+        'digraph "%s" {' % _escape(name),
+        "  rankdir=LR;",
+        "  node [fontsize=10];",
+    ]
+
+    by_context: Dict[Optional[LoopContext], List[Stage]] = {}
+    for stage in graph.stages:
+        by_context.setdefault(stage.context, []).append(stage)
+
+    def emit_context(context: Optional[LoopContext], indent: str) -> None:
+        for stage in by_context.get(context, ()):
+            label = "%s\\n#%d" % (_escape(stage.name), stage.index)
+            style = ' style="filled" fillcolor="#eeeeee"' if (
+                stage.kind is not StageKind.NORMAL
+            ) else ""
+            lines.append(
+                '%s  s%d [label="%s" shape=%s%s];'
+                % (indent, stage.index, label, _SHAPES[stage.kind], style)
+            )
+        for child in graph.contexts:
+            if child.parent is context:
+                lines.append("%s  subgraph cluster_%s {" % (indent, id(child)))
+                lines.append(
+                    '%s    label="%s (depth %d)"; color="#888888";'
+                    % (indent, _escape(child.name), child.depth)
+                )
+                emit_context(child, indent + "  ")
+                lines.append("%s  }" % indent)
+
+    emit_context(None, "")
+
+    for connector in graph.connectors:
+        attributes = []
+        if connector.partitioner is not None:
+            attributes.append('label="⇄" color="#3355bb"')
+        if connector.src.kind is StageKind.FEEDBACK or (
+            connector.dst.kind is StageKind.FEEDBACK
+        ):
+            attributes.append("style=dashed")
+        lines.append(
+            "  s%d -> s%d%s;"
+            % (
+                connector.src.index,
+                connector.dst.index,
+                " [%s]" % " ".join(attributes) if attributes else "",
+            )
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Convenience helpers for reasoning about pointstamps (section 2.3).
+
+The heavy lifting lives in :mod:`repro.core.pathsummary` (minimal path
+summaries) and :mod:`repro.core.progress` (occurrence/precursor
+counting); this module exposes the standalone could-result-in test used
+by tests and diagnostic tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from .pathsummary import Antichain
+from .progress import Pointstamp
+
+
+def could_result_in(
+    summaries: Dict[Tuple[Hashable, Hashable], Antichain],
+    p1: Pointstamp,
+    p2: Pointstamp,
+) -> bool:
+    """True iff an event at ``p1`` could lead to an event at ``p2``.
+
+    ``summaries`` is the table produced by
+    :meth:`repro.core.graph.DataflowGraph.freeze`.
+    """
+    antichain = summaries.get((p1.location, p2.location))
+    return antichain is not None and antichain.dominates(p1.timestamp, p2.timestamp)

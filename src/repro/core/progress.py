@@ -1,0 +1,206 @@
+"""Frontier-based progress tracking (paper section 2.3).
+
+Every unprocessed event — an undelivered message or an outstanding
+notification request — occupies a :class:`Pointstamp`: a timestamp plus a
+location (connector for messages, stage for notifications).  The
+:class:`ProgressState` maintains, per active pointstamp, an *occurrence
+count* (outstanding events at that pointstamp) and a *precursor count*
+(active pointstamps that could-result-in it).  A pointstamp with zero
+precursors is in the *frontier*; notifications in the frontier may be
+delivered safely.
+
+Occurrence counts change according to the four rules of section 2.3:
+
+==========================  ==========================
+Operation                   Update
+==========================  ==========================
+``v.send_by(e, m, t)``      ``OC[(t, e)] += 1``
+``v.on_recv(e, m, t)``      ``OC[(t, e)] -= 1``
+``v.notify_at(t)``          ``OC[(t, v)] += 1``
+``v.on_notify(t)``          ``OC[(t, v)] -= 1``
+==========================  ==========================
+
+The same class doubles as a worker's *local view* of global progress in
+the distributed protocol (section 3.3), where the updates arrive as
+broadcast ``(pointstamp, delta)`` pairs.  Because broadcasts from
+different workers may interleave, a local occurrence count can transiently
+go negative; any pointstamp with a non-zero count is treated as active
+(and hence blocking), which preserves the protocol's safety property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, NamedTuple, Optional, Tuple
+
+from .pathsummary import Antichain
+from .timestamp import Timestamp
+
+
+class Pointstamp(NamedTuple):
+    """A timestamp paired with a graph location (stage or connector)."""
+
+    timestamp: Timestamp
+    location: Hashable
+
+    def __repr__(self) -> str:
+        return "Pointstamp(%r @ %r)" % (self.timestamp, self.location)
+
+
+class ProgressState:
+    """Occurrence/precursor counting over a could-result-in table.
+
+    Parameters
+    ----------
+    summaries:
+        ``{(l1, l2): Antichain}`` giving minimal path summaries between
+        locations, as produced by
+        :meth:`repro.core.graph.DataflowGraph.freeze`.
+    """
+
+    def __init__(
+        self,
+        summaries: Dict[Tuple[Hashable, Hashable], Antichain],
+        cri_cache: Optional[Dict] = None,
+    ):
+        self._summaries = summaries
+        self.occurrence: Dict[Pointstamp, int] = {}
+        self.precursor: Dict[Pointstamp, int] = {}
+        #: Incrementally maintained set of zero-precursor pointstamps.
+        self._frontier: set = set()
+        #: Memoised counter-part of could-result-in (epoch-invariant, so
+        #: the cache stays bounded on long streams; shareable between
+        #: the per-process views of a cluster since the graph is fixed).
+        self._cri_cache: Dict = cri_cache if cri_cache is not None else {}
+        #: Bumped only when frontier *membership* changes — occurrence
+        #: count churn on existing pointstamps leaves it untouched, which
+        #: is what makes the domination memo below effective.
+        self.version = 0
+        #: pointstamp -> (frontier version, dominated?) memo.
+        self._dominated: Dict[Pointstamp, Tuple[int, bool]] = {}
+
+    # ------------------------------------------------------------------
+    # The could-result-in relation on pointstamps.
+    # ------------------------------------------------------------------
+
+    def could_result_in(self, p1: Pointstamp, p2: Pointstamp) -> bool:
+        """True iff an event at ``p1`` could lead to an event at ``p2``."""
+        t1, t2 = p1.timestamp, p2.timestamp
+        if t1.epoch > t2.epoch:
+            return False
+        key = (p1.location, p2.location, t1.counters, t2.counters)
+        cached = self._cri_cache.get(key)
+        if cached is None:
+            antichain = self._summaries.get((p1.location, p2.location))
+            cached = antichain is not None and any(
+                s.dominates_counters(t1.counters, t2.counters) for s in antichain
+            )
+            self._cri_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Occurrence-count updates.
+    # ------------------------------------------------------------------
+
+    def update(self, pointstamp: Pointstamp, delta: int) -> None:
+        """Apply an occurrence-count delta, maintaining precursor counts."""
+        if delta == 0:
+            return
+        old = self.occurrence.get(pointstamp, 0)
+        new = old + delta
+        if new == 0:
+            del self.occurrence[pointstamp]
+            self._deactivate(pointstamp)
+        else:
+            self.occurrence[pointstamp] = new
+            if old == 0:
+                self._activate(pointstamp)
+
+    def update_many(self, updates: Iterable[Tuple[Pointstamp, int]]) -> None:
+        for pointstamp, delta in updates:
+            self.update(pointstamp, delta)
+
+    def _activate(self, pointstamp: Pointstamp) -> None:
+        count = 0
+        precursor = self.precursor
+        frontier = self._frontier
+        cri = self.could_result_in
+        for other in self.occurrence:
+            if other == pointstamp:
+                continue
+            if cri(other, pointstamp):
+                count += 1
+            if cri(pointstamp, other):
+                precursor[other] += 1
+                if other in frontier:
+                    frontier.discard(other)
+                    self.version += 1
+        precursor[pointstamp] = count
+        if count == 0:
+            frontier.add(pointstamp)
+            self.version += 1
+
+    def _deactivate(self, pointstamp: Pointstamp) -> None:
+        del self.precursor[pointstamp]
+        frontier = self._frontier
+        if pointstamp in frontier:
+            frontier.discard(pointstamp)
+            self.version += 1
+        precursor = self.precursor
+        cri = self.could_result_in
+        for other in self.occurrence:
+            if other != pointstamp and cri(pointstamp, other):
+                remaining = precursor[other] - 1
+                precursor[other] = remaining
+                if remaining == 0:
+                    frontier.add(other)
+                    self.version += 1
+
+    # ------------------------------------------------------------------
+    # Frontier queries.
+    # ------------------------------------------------------------------
+
+    def is_active(self, pointstamp: Pointstamp) -> bool:
+        return pointstamp in self.occurrence
+
+    def in_frontier(self, pointstamp: Pointstamp) -> bool:
+        """True iff the pointstamp is active with no active precursors."""
+        return pointstamp in self._frontier
+
+    def frontier(self) -> List[Pointstamp]:
+        """The current frontier of active pointstamps."""
+        return list(self._frontier)
+
+    def frontier_dominates(self, pointstamp: Pointstamp) -> bool:
+        """True iff some *other* frontier element could-result-in it.
+
+        Because could-result-in is transitive and every active
+        pointstamp is dominated by a frontier element, this is
+        equivalent to "some other active pointstamp could-result-in
+        it".  Memoised per frontier version: the hot paths (notification
+        delivery tests, accumulator hold conditions) ask about the same
+        pointstamps repeatedly between frontier movements.
+        """
+        cached = self._dominated.get(pointstamp)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        cri = self.could_result_in
+        result = any(
+            other != pointstamp and cri(other, pointstamp)
+            for other in self._frontier
+        )
+        if len(self._dominated) > 100_000:
+            self._dominated.clear()
+        self._dominated[pointstamp] = (self.version, result)
+        return result
+
+    def active_pointstamps(self) -> List[Pointstamp]:
+        return list(self.occurrence)
+
+    def __len__(self) -> int:
+        return len(self.occurrence)
+
+    def __repr__(self) -> str:
+        return "ProgressState(%d active, frontier=%r)" % (
+            len(self.occurrence),
+            self.frontier(),
+        )

@@ -1,0 +1,144 @@
+"""The vertex programming model (paper section 2.2).
+
+A vertex implements two callbacks and may invoke two system methods::
+
+    v.on_recv(input_port, records, timestamp)   # a message arrived
+    v.on_notify(timestamp)                      # all messages <= t delivered
+
+    self.send_by(output_port, records, timestamp)
+    self.notify_at(timestamp)
+
+The system guarantees that ``on_notify(t)`` runs only after no further
+``on_recv(..., t')`` with ``t' <= t`` can occur.  In exchange, callbacks
+running at time ``t`` may only send or request notification at times
+``t' >= t`` — the "no messages backwards in time" rule, which the harness
+enforces.
+
+Messages are *batches*: ``records`` is a list, matching Naiad's practice
+of moving arrays of records through channels to amortise per-record
+overhead.
+
+Vertices optionally implement ``checkpoint()``/``restore(state)``
+(section 3.4); the default implementation snapshots the instance's
+attribute dictionary, which suffices for vertices whose state is plain
+Python data.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, List, Optional
+
+from .timestamp import Timestamp
+
+
+class Vertex:
+    """Base class for all dataflow vertices.
+
+    Subclasses override :meth:`on_recv` (and :meth:`on_notify` if they
+    request notifications).  The runtime assigns ``stage``, ``worker``
+    (the parallel index of this instance within its stage) and a private
+    harness before any callback runs.
+    """
+
+    def __init__(self):
+        self.stage = None
+        self.worker: int = 0
+        self._harness = None
+
+    # ------------------------------------------------------------------
+    # Callbacks (override in subclasses).
+    # ------------------------------------------------------------------
+
+    def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
+        raise NotImplementedError(
+            "%s does not implement on_recv" % type(self).__name__
+        )
+
+    def on_notify(self, timestamp: Timestamp) -> None:
+        """Called once all messages at times <= ``timestamp`` are delivered."""
+
+    # ------------------------------------------------------------------
+    # System methods (provided).
+    # ------------------------------------------------------------------
+
+    def send_by(self, output_port: int, records: List[Any], timestamp: Timestamp) -> None:
+        """Send a batch of records on an output port.
+
+        The timestamp is given on the *input side* of this stage; system
+        stages (ingress/egress/feedback) have the appropriate adjustment
+        applied by the runtime, so user code never manipulates loop
+        counters directly.
+        """
+        self._harness.send(self, output_port, records, timestamp)
+
+    def notify_at(self, timestamp: Timestamp, capability: bool = True) -> None:
+        """Request an :meth:`on_notify` callback at ``timestamp``.
+
+        With ``capability=False`` the request decouples the guarantee
+        time from the capability time (section 2.4): the callback is
+        still guaranteed not to run before ``timestamp`` is complete,
+        but it renounces the ability to produce new events (its
+        capability time is ⊤).  Such "state purging" notifications do
+        not occupy a pointstamp, so they never delay other
+        notifications and introduce no coordination; the harness
+        rejects any ``send_by``/``notify_at`` made from their callback.
+        """
+        self._harness.request_notification(self, timestamp, capability)
+
+    @property
+    def peers(self) -> int:
+        """Total number of parallel workers executing this stage.
+
+        ``self.worker`` identifies this instance among them.  Libraries
+        use this for explicit data placement (e.g. AllReduce chunk
+        ownership and broadcast fan-out).
+        """
+        return self._harness.total_workers
+
+    # ------------------------------------------------------------------
+    # Fault tolerance hooks (section 3.4).
+    # ------------------------------------------------------------------
+
+    #: Attributes excluded from the default checkpoint.
+    _TRANSIENT_ATTRS = ("stage", "worker", "_harness")
+
+    def checkpoint(self) -> Any:
+        """Return a snapshot of this vertex's state (default: deep copy)."""
+        state = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in self._TRANSIENT_ATTRS
+        }
+        return copy.deepcopy(state)
+
+    def restore(self, state: Any) -> None:
+        """Reset this vertex's state from a :meth:`checkpoint` snapshot."""
+        for key, value in copy.deepcopy(state).items():
+            setattr(self, key, value)
+
+    def __repr__(self) -> str:
+        name = self.stage.name if self.stage is not None else "unbound"
+        return "%s(%s[%d])" % (type(self).__name__, name, self.worker)
+
+
+class ForwardingVertex(Vertex):
+    """System vertex used for ingress, egress and feedback stages.
+
+    It forwards every incoming batch on output port 0; the runtime
+    applies the stage's timestamp action (push / pop / increment a loop
+    counter).  A feedback stage may bound the number of iterations by
+    dropping messages whose innermost loop counter has reached
+    ``max_iterations``, which is how bounded loops terminate cleanly.
+    """
+
+    def __init__(self, max_iterations: Optional[int] = None):
+        super().__init__()
+        self.max_iterations = max_iterations
+
+    def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
+        if self.max_iterations is not None:
+            # The runtime will increment the innermost counter on send.
+            if timestamp.counters[-1] + 1 >= self.max_iterations:
+                return
+        self.send_by(0, records, timestamp)

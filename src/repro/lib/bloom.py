@@ -1,0 +1,206 @@
+"""Asynchronous (coordination-free) operators in the Bloom style (§4.2).
+
+The paper implements a subset of the Bloom framework: ``Where``,
+``Concat``, ``Distinct`` and ``Join`` suffice, within a loop, for
+Datalog-style queries, and none of them invokes ``notify_at`` — so
+subgraphs built from them execute fully asynchronously on Naiad.  It
+also provides a monotonic ``Aggregate`` that re-emits whenever the
+aggregate improves, suitable for BloomL-style lattice programs.
+
+The asynchronous operators here differ from their coordinated LINQ
+cousins in :mod:`repro.lib.operators` in two ways:
+
+- state accumulates across *all* timestamps (Datalog's growing model),
+  rather than per-timestamp collections that are reclaimed on notify;
+- results are emitted immediately, timestamped with the least upper
+  bound of the contributing inputs' times — never waiting for epoch or
+  iteration completeness.
+
+Monotonicity is the programmer's obligation (as in CALM/Bloom): these
+operators never retract, so they are only correct for programs whose
+outputs grow monotonically with their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..core.timestamp import Timestamp
+from ..core.vertex import Vertex
+from .stream import Stream, hash_partitioner
+
+
+class AsyncDistinctVertex(Vertex):
+    """Emit each record the first time it is ever seen (any timestamp).
+
+    No notifications: state is never reclaimed, matching Datalog's
+    monotonically growing database.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.seen = set()
+
+    def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
+        seen = self.seen
+        fresh = []
+        for record in records:
+            if record not in seen:
+                seen.add(record)
+                fresh.append(record)
+        if fresh:
+            self.send_by(0, fresh, timestamp)
+
+
+class AsyncJoinVertex(Vertex):
+    """Symmetric hash join across all timestamps.
+
+    A record arriving at time ``t1`` joins with previously stored
+    records from any time ``t2``; the output is timestamped
+    ``t1 ∨ t2`` (the least upper bound), preserving the no-messages-
+    backwards-in-time rule without any coordination.
+    """
+
+    def __init__(
+        self,
+        left_key: Callable[[Any], Any],
+        right_key: Callable[[Any], Any],
+        result: Callable[[Any, Any], Any],
+    ):
+        super().__init__()
+        self.left_key = left_key
+        self.right_key = right_key
+        self.result = result
+        self.state: Tuple[Dict[Any, List[Tuple[Any, Timestamp]]], ...] = ({}, {})
+
+    def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
+        mine, theirs = self.state[input_port], self.state[1 - input_port]
+        key = self.left_key if input_port == 0 else self.right_key
+        result = self.result
+        outputs: Dict[Timestamp, List[Any]] = {}
+        for record in records:
+            k = key(record)
+            mine.setdefault(k, []).append((record, timestamp))
+            for other, other_time in theirs.get(k, ()):
+                out_time = timestamp.join(other_time)
+                pair = (
+                    result(record, other)
+                    if input_port == 0
+                    else result(other, record)
+                )
+                outputs.setdefault(out_time, []).append(pair)
+        for out_time, batch in outputs.items():
+            self.send_by(0, batch, out_time)
+
+
+class MonotonicAggregateVertex(Vertex):
+    """BloomL-style monotonic aggregation: emit whenever a key improves.
+
+    ``better(new, current) -> bool`` defines the improvement lattice
+    (e.g. ``new < current`` for MIN).  Outputs ``(key, value)`` may be
+    emitted several times per key, each better than the last — the
+    trade-off section 2.4 describes: fast uncoordinated iteration at the
+    cost of multiple messages before the final value.
+    """
+
+    def __init__(
+        self,
+        key: Callable[[Any], Any],
+        value: Callable[[Any], Any],
+        better: Callable[[Any, Any], bool],
+    ):
+        super().__init__()
+        self.key = key
+        self.value = value
+        self.better = better
+        self.current: Dict[Any, Any] = {}
+
+    def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
+        key, value, better = self.key, self.value, self.better
+        improved: List[Any] = []
+        for record in records:
+            k = key(record)
+            v = value(record)
+            if k not in self.current or better(v, self.current[k]):
+                self.current[k] = v
+                improved.append((k, v))
+        if improved:
+            self.send_by(0, improved, timestamp)
+
+
+# ----------------------------------------------------------------------
+# Fluent helpers mirroring the coordinated Stream API.
+# ----------------------------------------------------------------------
+
+
+def async_distinct(stream: Stream, name: str = "async_distinct") -> Stream:
+    """Coordination-free distinct over the whole input history."""
+    return stream._unary(
+        name, AsyncDistinctVertex, partitioner=hash_partitioner(lambda r: r)
+    )
+
+
+def async_join(
+    left: Stream,
+    right: Stream,
+    left_key: Callable[[Any], Any],
+    right_key: Callable[[Any], Any],
+    result: Callable[[Any, Any], Any],
+    name: str = "async_join",
+) -> Stream:
+    """Coordination-free join accumulating both inputs forever."""
+    if right.context is not left.context:
+        raise ValueError("async_join requires streams in the same loop context")
+    stage = left._add_stage(
+        name, lambda: AsyncJoinVertex(left_key, right_key, result), 2, 1
+    )
+    left.connect_to(stage, 0, hash_partitioner(left_key))
+    right.connect_to(stage, 1, hash_partitioner(right_key))
+    return Stream(left.computation, stage, 0)
+
+
+def monotonic_aggregate(
+    stream: Stream,
+    key: Callable[[Any], Any],
+    value: Callable[[Any], Any],
+    better: Callable[[Any, Any], bool],
+    name: str = "monotonic_aggregate",
+) -> Stream:
+    """Emit ``(key, value)`` whenever the aggregate for a key improves."""
+    return stream._unary(
+        name,
+        lambda: MonotonicAggregateVertex(key, value, better),
+        partitioner=hash_partitioner(key),
+    )
+
+
+def transitive_closure(
+    edges: Stream,
+    max_iterations: int = 64,
+    name: str = "tc",
+) -> Stream:
+    """Datalog-style transitive closure built only from async operators.
+
+    Demonstrates the paper's point: Where/Concat/Distinct/Join inside a
+    loop, with no notifications, evaluate recursive queries fully
+    asynchronously.  Input records are ``(src, dst)`` pairs; the output
+    is the set of reachable pairs, emitted as discovered.
+    """
+
+    def body(paths: Stream) -> Stream:
+        extended = async_join(
+            paths,
+            paths,
+            left_key=lambda p: p[1],
+            right_key=lambda p: p[0],
+            result=lambda a, b: (a[0], b[1]),
+            name="%s.extend" % name,
+        )
+        return async_distinct(extended, name="%s.distinct" % name)
+
+    return edges.iterate(
+        body,
+        max_iterations=max_iterations,
+        partitioner=hash_partitioner(lambda p: p[0]),
+        name=name,
+    )

@@ -1,0 +1,421 @@
+"""Fluent stream API over the timely dataflow graph (paper section 4).
+
+A :class:`Stream` wraps one output port of a stage and offers the
+LINQ-style operators of section 4.2 plus loop construction (section
+4.3).  The prototypical program shape is the one from section 4.1::
+
+    comp = Computation()
+    result = (Stream.from_input(comp.new_input())
+                .select_many(mapper)
+                .group_by(key, reducer)
+                .subscribe(lambda t, records: ...))
+    comp.build()
+    comp.inputs[0].on_next(first_epoch)
+    comp.run()
+
+Keyed operators (``group_by``, ``count_by``, ``join`` …) attach a hash
+partitioning function to their input connector, so the same program runs
+data-parallel on the distributed runtime without modification
+(section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from ..core.computation import Computation, InputHandle
+from ..core.graph import LoopContext, Stage
+from ..core.timestamp import Timestamp
+from ..core.vertex import Vertex
+from . import operators as ops
+
+
+def hash_partitioner(key: Callable[[Any], Any]) -> Callable[[Any], int]:
+    """Route records with equal ``key`` to the same downstream vertex."""
+
+    def partition(record: Any) -> int:
+        return hash(key(record))
+
+    return partition
+
+
+class Stream:
+    """One output port of a stage, with operator methods."""
+
+    __slots__ = ("computation", "stage", "port")
+
+    def __init__(self, computation: Computation, stage: Stage, port: int = 0):
+        self.computation = computation
+        self.stage = stage
+        self.port = port
+
+    @staticmethod
+    def from_input(handle: InputHandle) -> "Stream":
+        """Wrap an input stage created by :meth:`Computation.new_input`."""
+        return Stream(handle._computation, handle.stage, 0)
+
+    @property
+    def context(self) -> Optional[LoopContext]:
+        """The loop context in which this stream's records travel."""
+        return self.stage.output_context
+
+    # ------------------------------------------------------------------
+    # Internal plumbing.
+    # ------------------------------------------------------------------
+
+    def _add_stage(
+        self,
+        name: str,
+        factory: Callable[[], Vertex],
+        num_inputs: int = 1,
+        num_outputs: int = 1,
+    ) -> Stage:
+        return self.computation.graph.new_stage(
+            name,
+            lambda stage, worker: factory(),
+            num_inputs,
+            num_outputs,
+            context=self.context,
+        )
+
+    def _unary(
+        self,
+        name: str,
+        factory: Callable[[], Vertex],
+        partitioner: Optional[Callable[[Any], int]] = None,
+        num_outputs: int = 1,
+    ) -> "Stream":
+        stage = self._add_stage(name, factory, 1, num_outputs)
+        self.computation.graph.connect(self.stage, self.port, stage, 0, partitioner)
+        return Stream(self.computation, stage, 0)
+
+    def connect_to(
+        self,
+        stage: Stage,
+        dst_port: int = 0,
+        partitioner: Optional[Callable[[Any], int]] = None,
+    ) -> None:
+        """Connect this stream to an input port of an existing stage."""
+        self.computation.graph.connect(self.stage, self.port, stage, dst_port, partitioner)
+
+    def output(self, port: int) -> "Stream":
+        """A stream for another output port of the same stage."""
+        return Stream(self.computation, self.stage, port)
+
+    # ------------------------------------------------------------------
+    # Stateless operators (no coordination).
+    # ------------------------------------------------------------------
+
+    def select(self, function: Callable[[Any], Any], name: str = "select") -> "Stream":
+        return self._unary(name, lambda: ops.SelectVertex(function))
+
+    def where(self, predicate: Callable[[Any], bool], name: str = "where") -> "Stream":
+        return self._unary(name, lambda: ops.WhereVertex(predicate))
+
+    def select_many(
+        self, function: Callable[[Any], Iterable[Any]], name: str = "select_many"
+    ) -> "Stream":
+        return self._unary(name, lambda: ops.SelectManyVertex(function))
+
+    def concat(self, other: "Stream", name: str = "concat") -> "Stream":
+        if other.context is not self.context:
+            raise ValueError("concat requires streams in the same loop context")
+        stage = self._add_stage(name, ops.ConcatVertex, 2, 1)
+        self.connect_to(stage, 0)
+        other.connect_to(stage, 1)
+        return Stream(self.computation, stage, 0)
+
+    def inspect(
+        self, probe: Callable[[Timestamp, List[Any]], None], name: str = "inspect"
+    ) -> "Stream":
+        return self._unary(name, lambda: ops.InspectVertex(probe))
+
+    # ------------------------------------------------------------------
+    # Coordinated operators.
+    # ------------------------------------------------------------------
+
+    def distinct(self, name: str = "distinct") -> "Stream":
+        return self._unary(
+            name, ops.DistinctVertex, partitioner=hash_partitioner(lambda r: r)
+        )
+
+    def group_by(
+        self,
+        key: Callable[[Any], Any],
+        reducer: Callable[[Any, List[Any]], Iterable[Any]],
+        name: str = "group_by",
+    ) -> "Stream":
+        return self._unary(
+            name,
+            lambda: ops.GroupByVertex(key, reducer),
+            partitioner=hash_partitioner(key),
+        )
+
+    def count_by(self, key: Callable[[Any], Any], name: str = "count_by") -> "Stream":
+        return self._unary(
+            name, lambda: ops.CountByVertex(key), partitioner=hash_partitioner(key)
+        )
+
+    def aggregate_by(
+        self,
+        key: Callable[[Any], Any],
+        value: Callable[[Any], Any],
+        combine: Callable[[Any, Any], Any],
+        name: str = "aggregate_by",
+    ) -> "Stream":
+        return self._unary(
+            name,
+            lambda: ops.AggregateByVertex(key, value, combine),
+            partitioner=hash_partitioner(key),
+        )
+
+    def count(self, name: str = "count") -> "Stream":
+        """Total record count per timestamp (single group)."""
+        return self._unary(
+            name,
+            lambda: ops.UnaryBufferingVertex(lambda records: [len(records)]),
+            partitioner=lambda record: 0,
+        )
+
+    def join(
+        self,
+        other: "Stream",
+        left_key: Callable[[Any], Any],
+        right_key: Callable[[Any], Any],
+        result: Callable[[Any, Any], Any],
+        name: str = "join",
+    ) -> "Stream":
+        if other.context is not self.context:
+            raise ValueError("join requires streams in the same loop context")
+        stage = self._add_stage(name, lambda: ops.JoinVertex(left_key, right_key, result), 2, 1)
+        self.connect_to(stage, 0, hash_partitioner(left_key))
+        other.connect_to(stage, 1, hash_partitioner(right_key))
+        return Stream(self.computation, stage, 0)
+
+    def buffered(
+        self,
+        transform: Callable[[List[Any]], Iterable[Any]],
+        partitioner: Optional[Callable[[Any], int]] = None,
+        name: str = "buffered",
+    ) -> "Stream":
+        """Generic coordinated unary operator (section 4.2)."""
+        return self._unary(
+            name, lambda: ops.UnaryBufferingVertex(transform), partitioner=partitioner
+        )
+
+    def binary_buffered(
+        self,
+        other: "Stream",
+        transform: Callable[[List[Any], List[Any]], Iterable[Any]],
+        partitioner: Optional[Callable[[Any], int]] = None,
+        name: str = "binary_buffered",
+    ) -> "Stream":
+        """Generic coordinated binary operator (section 4.2).
+
+        Buffers both inputs per timestamp and applies
+        ``transform(left_records, right_records)`` at completion.
+        """
+        if other.context is not self.context:
+            raise ValueError("binary_buffered requires streams in the same context")
+        stage = self._add_stage(
+            name, lambda: ops.BinaryBufferingVertex(transform), 2, 1
+        )
+        self.connect_to(stage, 0, partitioner)
+        other.connect_to(stage, 1, partitioner)
+        return Stream(self.computation, stage, 0)
+
+    def union(self, other: "Stream", name: str = "union") -> "Stream":
+        """Set union per timestamp: concat then distinct."""
+        return self.concat(other, name="%s.concat" % name).distinct(
+            name="%s.distinct" % name
+        )
+
+    def min_by(
+        self,
+        key: Callable[[Any], Any],
+        value: Callable[[Any], Any],
+        name: str = "min_by",
+    ) -> "Stream":
+        """Per-key minimum value at each timestamp."""
+        return self.aggregate_by(key, value, min, name=name)
+
+    def max_by(
+        self,
+        key: Callable[[Any], Any],
+        value: Callable[[Any], Any],
+        name: str = "max_by",
+    ) -> "Stream":
+        """Per-key maximum value at each timestamp."""
+        return self.aggregate_by(key, value, max, name=name)
+
+    def top_k(
+        self,
+        k: int,
+        score: Callable[[Any], Any],
+        name: str = "top_k",
+    ) -> "Stream":
+        """The k highest-scoring records of each timestamp.
+
+        Two-level: each worker keeps a local top-k (a combiner), then a
+        single partition selects the global winners.
+        """
+        def local_top(records: List[Any]) -> List[Any]:
+            return sorted(records, key=score, reverse=True)[:k]
+
+        partials = self.buffered(local_top, partitioner=None, name="%s.local" % name)
+        return partials.buffered(
+            local_top, partitioner=lambda record: 0, name="%s.global" % name
+        )
+
+    # ------------------------------------------------------------------
+    # Outputs.
+    # ------------------------------------------------------------------
+
+    def probe(self, name: str = "probe") -> "Probe":
+        """Attach a progress probe to this stream.
+
+        After ``build()``, ``probe.done(epoch)`` reports whether all
+        work at or before that epoch has drained past this point in the
+        dataflow — the introspection used to rate-limit producers or
+        implement bounded staleness.  On the distributed runtime the
+        answer comes from a local view and is therefore conservative
+        (never claims completion early).
+        """
+        stage = self._add_stage(name, ops.ProbeVertex, 1, 0)
+        self.connect_to(stage, 0)
+        return Probe(self.computation, stage)
+
+    def subscribe(
+        self,
+        callback: Callable[[Timestamp, List[Any]], None],
+        name: str = "subscribe",
+    ) -> Stage:
+        """Invoke ``callback(timestamp, records)`` for each complete time."""
+        stage = self._add_stage(name, lambda: ops.SubscribeVertex(callback), 1, 0)
+        self.connect_to(stage, 0)
+        return stage
+
+    def collect(self, name: str = "collect") -> List:
+        """Subscribe into (and return) a list of ``(timestamp, records)``."""
+        sink: List = []
+        self.subscribe(lambda t, records: sink.append((t, records)), name=name)
+        return sink
+
+    # ------------------------------------------------------------------
+    # Loops (section 4.3).
+    # ------------------------------------------------------------------
+
+    def enter(self, loop: "Loop") -> "Stream":
+        """Bring this stream into a loop context through an ingress stage."""
+        ingress = self.computation.add_ingress(loop.context)
+        self.connect_to(ingress, 0)
+        return Stream(self.computation, ingress, 0)
+
+    def leave(self) -> "Stream":
+        """Take this stream out of its loop context through an egress stage."""
+        if self.context is None:
+            raise ValueError("stream is not inside a loop context")
+        egress = self.computation.add_egress(self.context)
+        self.connect_to(egress, 0)
+        return Stream(self.computation, egress, 0)
+
+    def iterate(
+        self,
+        body: Callable[["Stream"], "Stream"],
+        max_iterations: Optional[int] = None,
+        partitioner: Optional[Callable[[Any], int]] = None,
+        name: str = "iterate",
+    ) -> "Stream":
+        """Run ``body`` to fixed point inside a new loop context.
+
+        ``body`` receives the concatenation of this stream (entered into
+        the loop) and the feedback stream, and returns the stream to feed
+        back.  Iteration stops when the body stops producing records (or
+        after ``max_iterations``).  Returns the body output, taken out of
+        the loop through an egress.
+        """
+        loop = Loop(
+            self.computation, parent=self.context, max_iterations=max_iterations, name=name
+        )
+        entered = self.enter(loop)
+        merged = entered.concat(loop.feedback_stream())
+        result = body(merged)
+        loop.connect_feedback(result, partitioner=partitioner)
+        return result.leave()
+
+    def __repr__(self) -> str:
+        return "Stream(%s[%d])" % (self.stage.name, self.port)
+
+
+class Probe:
+    """Observes completion of epochs at a point in the dataflow."""
+
+    __slots__ = ("computation", "stage")
+
+    def __init__(self, computation: Computation, stage: Stage):
+        self.computation = computation
+        self.stage = stage
+
+    def _states(self):
+        views = getattr(self.computation, "views", None)
+        if views is not None:
+            return [view.state for view in views]
+        return [self.computation.progress]
+
+    def first_incomplete(self) -> Optional[int]:
+        """The earliest epoch that could still deliver work here.
+
+        ``None`` means everything that will ever reach this probe has
+        arrived (all inputs closed and drained).
+        """
+        summaries = self.computation.graph.summaries
+        result: Optional[int] = None
+        for state in self._states():
+            for q in state.frontier():
+                if (q.location, self.stage) in summaries:
+                    epoch = q.timestamp.epoch
+                    if result is None or epoch < result:
+                        result = epoch
+        return result
+
+    def done(self, epoch: int) -> bool:
+        """True iff no outstanding work can still reach this probe at
+        or before ``epoch``."""
+        first = self.first_incomplete()
+        return first is None or first > epoch
+
+
+class Loop:
+    """A loop context plus its feedback stage (created eagerly).
+
+    The feedback stage's output is available before its input is
+    connected — the one place the graph may be wired output-first
+    (section 4.3) — enabling cyclic topologies.
+    """
+
+    def __init__(
+        self,
+        computation: Computation,
+        parent: Optional[LoopContext] = None,
+        max_iterations: Optional[int] = None,
+        name: str = "loop",
+    ):
+        self.computation = computation
+        self.context = computation.new_loop_context(parent, name)
+        self._feedback = computation.add_feedback(self.context, max_iterations)
+        self._feedback_connected = False
+
+    def feedback_stream(self) -> Stream:
+        """The output of the feedback stage (iteration i+1's input)."""
+        return Stream(self.computation, self._feedback, 0)
+
+    def connect_feedback(
+        self, stream: Stream, partitioner: Optional[Callable[[Any], int]] = None
+    ) -> None:
+        """Feed ``stream`` (inside the loop) back around the cycle."""
+        if self._feedback_connected:
+            raise ValueError("feedback input is already connected")
+        if stream.context is not self.context:
+            raise ValueError("feedback must be fed from inside the loop context")
+        stream.connect_to(self._feedback, 0, partitioner)
+        self._feedback_connected = True

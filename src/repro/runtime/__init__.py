@@ -1,0 +1,21 @@
+"""The simulated distributed runtime (paper section 3).
+
+Exports :class:`ClusterComputation` (drop-in for
+:class:`repro.core.Computation`), the cost/fault-tolerance policies and
+the synthetic-record helpers used by benchmarks.
+"""
+
+from .cluster import ClusterComputation, CostModel, FaultTolerance
+from .protocol import PROTOCOL_MODES, UPDATE_WIRE_BYTES
+from .synthetic import SyntheticRecords, batch_bytes, record_count
+
+__all__ = [
+    "ClusterComputation",
+    "CostModel",
+    "FaultTolerance",
+    "PROTOCOL_MODES",
+    "SyntheticRecords",
+    "UPDATE_WIRE_BYTES",
+    "batch_bytes",
+    "record_count",
+]

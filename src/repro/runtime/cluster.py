@@ -1,0 +1,622 @@
+"""The simulated distributed Naiad runtime (paper section 3).
+
+:class:`ClusterComputation` executes an unmodified timely dataflow
+program on a model of the paper's cluster: ``num_processes`` processes,
+each hosting ``workers_per_process`` workers, connected by the network
+model of :mod:`repro.sim.network`.  The logical graph expands into a
+physical graph with one vertex per (stage, worker); connectors with a
+partitioning function exchange records between workers by key
+(section 3.1).  Vertices *really execute* — outputs are real — while
+elapsed time follows a calibrated cost model and a discrete-event
+simulation, so scaling and latency experiments run in virtual time.
+
+Progress coordination uses the distributed protocol of section 3.3
+(:mod:`repro.runtime.protocol`): workers broadcast occurrence-count
+deltas; notifications are delivered only when the process's local view
+shows no possible earlier work, which — by the protocol's safety
+property — never precedes the true global frontier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.computation import Computation, TimestampViolation
+from ..core.graph import Connector, Stage, StageKind
+from ..core.progress import Pointstamp
+from ..core.timestamp import Timestamp
+from ..core.vertex import Vertex
+from ..sim.des import Simulator
+from ..sim.network import Network, NetworkConfig
+from .protocol import (
+    CentralAccumulator,
+    ProgressView,
+    ProtocolNode,
+    net_updates,
+    wire_size,
+)
+from .synthetic import SyntheticRecords, batch_bytes, record_count
+
+
+@dataclass
+class CostModel:
+    """Per-operation virtual-time costs, calibrated to section 5.
+
+    The defaults were tuned so that single-computer microbenchmark
+    results land in the same regime as the paper's hardware (2.1 GHz
+    Opterons): roughly 5M records/s/worker of processing and ~100 MB/s
+    of serialization throughput per core.
+    """
+
+    #: Fixed cost of dispatching one callback (on_recv / on_notify).
+    callback_overhead: float = 2e-6
+    #: CPU time per record handled in a callback.
+    per_record_cost: float = 200e-9
+    #: Sender-side serialization cost per byte (remote sends only).
+    serialize_per_byte: float = 8e-9
+    #: Receiver-side deserialization cost per byte.
+    deserialize_per_byte: float = 8e-9
+    #: Default serialized record size when not synthetic.
+    record_bytes: int = 8
+    #: Cost of delivering one notification.
+    notification_cost: float = 2e-6
+
+
+@dataclass
+class FaultTolerance:
+    """Fault-tolerance policy knobs (sections 3.4 and 6.3)."""
+
+    #: "none", "checkpoint" (periodic full checkpoints) or "logging"
+    #: (continual logging of sent messages).
+    mode: str = "none"
+    #: Take a checkpoint every N input epochs ("checkpoint" mode).
+    checkpoint_every: int = 100
+    #: State written per worker at each checkpoint, bytes.
+    state_bytes_per_worker: int = 4 << 20
+    #: Sequential disk bandwidth for checkpoints and logs, bytes/s.
+    disk_bandwidth: float = 200e6
+    #: Fixed log-record overhead per message batch ("logging" mode).
+    log_bytes_per_batch: int = 64
+
+
+class _Worker:
+    """One Naiad worker: a partition of vertices plus an event queue."""
+
+    __slots__ = (
+        "cluster",
+        "index",
+        "process",
+        "queue",
+        "pending_notifications",
+        "pending_cleanups",
+        "busy_until",
+        "_scheduled",
+        "_frame_time",
+        "_frame_stage",
+        "_frame_capability",
+        "_updates",
+        "_dispatches",
+        "delivered_messages",
+        "delivered_notifications",
+    )
+
+    def __init__(self, cluster: "ClusterComputation", index: int):
+        self.cluster = cluster
+        self.index = index
+        self.process = index // cluster.workers_per_process
+        self.queue: deque = deque()
+        self.pending_notifications: Dict[Pointstamp, int] = {}
+        self.pending_cleanups: Dict[Pointstamp, int] = {}
+        self.busy_until = 0.0
+        self._scheduled = False
+        self._frame_time: Optional[Timestamp] = None
+        self._frame_stage: Optional[Stage] = None
+        self._frame_capability = True
+        self._updates: Optional[List[Tuple[Pointstamp, int]]] = None
+        self._dispatches: Optional[List[Tuple[Connector, int, List[Any], Timestamp]]] = None
+        self.delivered_messages = 0
+        self.delivered_notifications = 0
+
+    # ------------------------------------------------------------------
+    # Harness interface (Vertex.send_by / Vertex.notify_at).
+    # ------------------------------------------------------------------
+
+    @property
+    def total_workers(self) -> int:
+        return self.cluster.total_workers
+
+    def send(
+        self, vertex: Vertex, output_port: int, records: List[Any], timestamp: Timestamp
+    ) -> None:
+        stage = vertex.stage
+        if not self._frame_capability:
+            raise TimestampViolation(
+                "send_by from a capability-free (state purging) notification"
+            )
+        if stage.kind is StageKind.NORMAL and self._frame_time is not None:
+            current = self._frame_time
+            if current.depth == timestamp.depth and not current.less_equal(timestamp):
+                raise TimestampViolation(
+                    "send_by at %r from a callback at %r" % (timestamp, current)
+                )
+        out_time = stage.timestamp_action().apply(timestamp)
+        total = self.cluster.total_workers
+        for connector in stage.outputs[output_port]:
+            if connector.partitioner is None:
+                shares = [(self.index, records)]
+            else:
+                buckets: Dict[int, List[Any]] = {}
+                partitioner = connector.partitioner
+                for record in records:
+                    buckets.setdefault(partitioner(record) % total, []).append(record)
+                shares = list(buckets.items())
+            pointstamp = Pointstamp(out_time, connector)
+            for dest, batch in shares:
+                self._updates.append((pointstamp, +1))
+                self._dispatches.append((connector, dest, batch, out_time))
+
+    def request_notification(
+        self, vertex: Vertex, timestamp: Timestamp, capability: bool = True
+    ) -> None:
+        if not self._frame_capability:
+            raise TimestampViolation(
+                "notify_at from a capability-free (state purging) notification"
+            )
+        if self._frame_time is not None:
+            current = self._frame_time
+            if current.depth == timestamp.depth and not current.less_equal(timestamp):
+                raise TimestampViolation(
+                    "notify_at at %r from a callback at %r" % (timestamp, current)
+                )
+        pointstamp = Pointstamp(timestamp, vertex.stage)
+        if capability:
+            self._updates.append((pointstamp, +1))
+            self.pending_notifications[pointstamp] = (
+                self.pending_notifications.get(pointstamp, 0) + 1
+            )
+        else:
+            # Section 2.4: guarantee-only request — no pointstamp, no
+            # protocol traffic, cannot delay anything anywhere.
+            self.pending_cleanups[pointstamp] = (
+                self.pending_cleanups.get(pointstamp, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    # Scheduling.
+    # ------------------------------------------------------------------
+
+    def enqueue_message(
+        self,
+        connector: Connector,
+        records: List[Any],
+        timestamp: Timestamp,
+        remote_bytes: int = 0,
+    ) -> None:
+        self.queue.append((connector, records, timestamp, remote_bytes))
+        self.activate()
+
+    def activate(self) -> None:
+        if self._scheduled:
+            return
+        if (
+            not self.queue
+            and self._deliverable_notification() is None
+            and self._deliverable_cleanup() is None
+        ):
+            return
+        self._scheduled = True
+        start = max(
+            self.cluster.sim.now,
+            self.busy_until,
+            self.cluster.network.process_available_at(self.process),
+        )
+        self.cluster.sim.schedule_at(start, self._step)
+
+    def _deliverable_notification(self) -> Optional[Pointstamp]:
+        if not self.pending_notifications:
+            return None
+        view = self.cluster.views[self.process]
+        best = None
+        for pointstamp in self.pending_notifications:
+            if view.unblocked(pointstamp):
+                if best is None or (pointstamp.timestamp, pointstamp.location.index) < (
+                    best.timestamp,
+                    best.location.index,
+                ):
+                    best = pointstamp
+        return best
+
+    def _deliverable_cleanup(self) -> Optional[Pointstamp]:
+        if not self.pending_cleanups:
+            return None
+        view = self.cluster.views[self.process]
+        for pointstamp in self.pending_cleanups:
+            if view.unblocked(pointstamp):
+                return pointstamp
+        return None
+
+    def _step(self) -> None:
+        self._scheduled = False
+        cluster = self.cluster
+        now = cluster.sim.now
+        start = max(now, self.busy_until, cluster.network.process_available_at(self.process))
+        if start > now:
+            self._scheduled = True
+            cluster.sim.schedule_at(start, self._step)
+            return
+        cost_model = cluster.cost_model
+        self._updates = []
+        self._dispatches = []
+        cost = 0.0
+        if self.queue:
+            if cluster.scheduling == "earliest" and len(self.queue) > 1:
+                # Section 3.2's alternative policy: deliver the message
+                # with the earliest pointstamp to cut end-to-end latency.
+                index = min(
+                    range(len(self.queue)),
+                    key=lambda i: self.queue[i][2],
+                )
+                self.queue.rotate(-index)
+                connector, records, timestamp, remote_bytes = self.queue.popleft()
+                self.queue.rotate(index)
+            else:
+                connector, records, timestamp, remote_bytes = self.queue.popleft()
+            vertex = cluster.vertices[(connector.dst, self.index)]
+            self._frame_time = timestamp
+            self._frame_stage = connector.dst
+            try:
+                vertex.on_recv(connector.dst_port, records, timestamp)
+            finally:
+                self._frame_time = None
+                self._frame_stage = None
+            self._updates.append((Pointstamp(timestamp, connector), -1))
+            self.delivered_messages += 1
+            cost += (
+                cost_model.callback_overhead
+                + cluster.stage_record_cost(connector.dst) * record_count(records)
+                + cost_model.deserialize_per_byte * remote_bytes
+            )
+        else:
+            pointstamp = self._deliverable_notification()
+            if pointstamp is not None:
+                remaining = self.pending_notifications[pointstamp] - 1
+                if remaining:
+                    self.pending_notifications[pointstamp] = remaining
+                else:
+                    del self.pending_notifications[pointstamp]
+                vertex = cluster.vertices[(pointstamp.location, self.index)]
+                self._frame_time = pointstamp.timestamp
+                self._frame_stage = pointstamp.location
+                try:
+                    vertex.on_notify(pointstamp.timestamp)
+                finally:
+                    self._frame_time = None
+                    self._frame_stage = None
+                self._updates.append((pointstamp, -1))
+                self.delivered_notifications += 1
+                cost += cost_model.notification_cost
+            else:
+                pointstamp = self._deliverable_cleanup()
+                if pointstamp is None:
+                    self._updates = None
+                    self._dispatches = None
+                    return
+                remaining = self.pending_cleanups[pointstamp] - 1
+                if remaining:
+                    self.pending_cleanups[pointstamp] = remaining
+                else:
+                    del self.pending_cleanups[pointstamp]
+                vertex = cluster.vertices[(pointstamp.location, self.index)]
+                self._frame_time = pointstamp.timestamp
+                self._frame_stage = pointstamp.location
+                self._frame_capability = False
+                try:
+                    vertex.on_notify(pointstamp.timestamp)
+                finally:
+                    self._frame_time = None
+                    self._frame_stage = None
+                    self._frame_capability = True
+                self.delivered_notifications += 1
+                cost += cost_model.notification_cost
+
+        # Sender-side serialization and (optionally) logging costs.
+        log_bytes = 0
+        for connector, dest, batch, _ in self._dispatches:
+            if cluster.worker_process(dest) != self.process:
+                size = batch_bytes(batch, cost_model.record_bytes)
+                cost += cost_model.serialize_per_byte * size
+                log_bytes += size + cluster.fault_tolerance.log_bytes_per_batch
+        if cluster.fault_tolerance.mode == "logging" and self._dispatches:
+            if log_bytes == 0:
+                log_bytes = cluster.fault_tolerance.log_bytes_per_batch
+            cost += log_bytes / cluster.fault_tolerance.disk_bandwidth
+
+        finish = start + cost
+        self.busy_until = finish
+        updates, dispatches = self._updates, self._dispatches
+        self._updates = None
+        self._dispatches = None
+        cluster.sim.schedule_at(finish, lambda: self._commit(updates, dispatches))
+
+    def _commit(
+        self,
+        updates: List[Tuple[Pointstamp, int]],
+        dispatches: List[Tuple[Connector, int, List[Any], Timestamp]],
+    ) -> None:
+        cluster = self.cluster
+        for connector, dest, batch, out_time in dispatches:
+            dest_process = cluster.worker_process(dest)
+            dest_worker = cluster.workers[dest]
+            if dest == self.index:
+                dest_worker.enqueue_message(connector, batch, out_time)
+            else:
+                size = (
+                    batch_bytes(batch, cluster.cost_model.record_bytes)
+                    if dest_process != self.process
+                    else 0
+                )
+                cluster.network.send(
+                    self.process,
+                    dest_process,
+                    size,
+                    "data",
+                    lambda w=dest_worker, c=connector, b=batch, t=out_time, s=size: (
+                        w.enqueue_message(c, b, t, s)
+                    ),
+                )
+        cluster.nodes[self.process].submit(updates)
+        self.activate()
+
+    def has_work(self) -> bool:
+        return (
+            bool(self.queue)
+            or bool(self.pending_notifications)
+            or bool(self.pending_cleanups)
+        )
+
+
+class ClusterComputation(Computation):
+    """A timely dataflow computation on the simulated cluster.
+
+    Use exactly like :class:`repro.core.Computation` — same graph
+    construction, same :class:`repro.lib.Stream` operators — then drive
+    inputs and call :meth:`run`.  Time is virtual: :attr:`now` reports
+    seconds of modeled cluster time.
+    """
+
+    def __init__(
+        self,
+        num_processes: int = 2,
+        workers_per_process: int = 2,
+        network: Optional[NetworkConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        progress_mode: str = "local",
+        fault_tolerance: Optional[FaultTolerance] = None,
+        scheduling: str = "fifo",
+        seed: int = 0,
+    ):
+        super().__init__()
+        if scheduling not in ("fifo", "earliest"):
+            raise ValueError("scheduling must be 'fifo' or 'earliest'")
+        self.scheduling = scheduling
+        self.num_processes = num_processes
+        self.workers_per_process = workers_per_process
+        self.total_workers = num_processes * workers_per_process
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, num_processes, network or NetworkConfig())
+        self.cost_model = cost_model or CostModel()
+        self.progress_mode = progress_mode
+        self.fault_tolerance = fault_tolerance or FaultTolerance()
+        self.views: List[ProgressView] = []
+        self.nodes: List[ProtocolNode] = []
+        self.central: Optional[CentralAccumulator] = None
+        self.workers: List[_Worker] = []
+        self.vertices: Dict[Tuple[Stage, int], Vertex] = {}
+        self._stage_costs: Dict[Stage, float] = {}
+        self._epochs_fed = 0
+
+    # ------------------------------------------------------------------
+    # Configuration.
+    # ------------------------------------------------------------------
+
+    def worker_process(self, worker_index: int) -> int:
+        return worker_index // self.workers_per_process
+
+    def set_stage_cost(self, stage: Stage, per_record_seconds: float) -> None:
+        """Override the per-record CPU cost for one stage."""
+        self._stage_costs[stage] = per_record_seconds
+
+    def stage_record_cost(self, stage: Stage) -> float:
+        return self._stage_costs.get(stage, self.cost_model.per_record_cost)
+
+    @property
+    def now(self) -> float:
+        """Virtual cluster time, seconds."""
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # Build: physical expansion (section 3.1).
+    # ------------------------------------------------------------------
+
+    def build(self) -> None:
+        if self._built:
+            return
+        self.graph.freeze()
+        summaries = self.graph.summaries
+        shared_cri_cache: Dict = {}
+        for process in range(self.num_processes):
+            view = ProgressView(
+                summaries,
+                on_change=lambda p=process: self._recheck_process(p),
+                cri_cache=shared_cri_cache,
+            )
+            self.views.append(view)
+        for process in range(self.num_processes):
+            node = ProtocolNode(
+                process,
+                self.num_processes,
+                self.progress_mode,
+                self.views[process],
+                self.network,
+                self.nodes,
+                None,
+            )
+            self.nodes.append(node)
+        if self.progress_mode in ("global", "local+global"):
+            self.central = CentralAccumulator(
+                0, self.num_processes, self.views[0], self.network, self.nodes
+            )
+            for node in self.nodes:
+                node.central = self.central
+        self.workers = [_Worker(self, index) for index in range(self.total_workers)]
+        for stage in self.graph.stages:
+            if stage.kind is StageKind.INPUT:
+                continue
+            for index, worker in enumerate(self.workers):
+                vertex = stage.factory(stage, index)
+                vertex.stage = stage
+                vertex.worker = index
+                vertex._harness = worker
+                self.vertices[(stage, index)] = vertex
+        initial = [
+            (Pointstamp(Timestamp(0), handle.stage), +1) for handle in self.inputs
+        ]
+        for view in self.views:
+            view.apply(list(initial))
+        self._built = True
+
+    def _recheck_process(self, process: int) -> None:
+        base = process * self.workers_per_process
+        for worker in self.workers[base : base + self.workers_per_process]:
+            if worker.pending_notifications or worker.pending_cleanups:
+                worker.activate()
+        if self.central is not None and process == self.central.process:
+            self.central.recheck()
+
+    # ------------------------------------------------------------------
+    # Inputs (the external producer feeds all workers' input vertices).
+    # ------------------------------------------------------------------
+
+    def _input_epoch(self, stage: Stage, records: List[Any], epoch: int) -> None:
+        timestamp = Timestamp(epoch)
+        updates: List[Tuple[Pointstamp, int]] = []
+        for connector in stage.outputs[0]:
+            for dest, batch in self._partition_input(connector, records):
+                updates.append((Pointstamp(timestamp, connector), +1))
+                worker = self.workers[dest]
+                self.sim.schedule(
+                    0.0, lambda w=worker, c=connector, b=batch, t=timestamp: (
+                        w.enqueue_message(c, b, t)
+                    )
+                )
+        updates.append((Pointstamp(Timestamp(epoch + 1), stage), +1))
+        updates.append((Pointstamp(timestamp, stage), -1))
+        self._controller_broadcast(updates)
+        self._epochs_fed += 1
+        ft = self.fault_tolerance
+        if ft.mode == "checkpoint" and self._epochs_fed % ft.checkpoint_every == 0:
+            self._inject_checkpoint_pause()
+
+    def _partition_input(
+        self, connector: Connector, records: List[Any]
+    ) -> List[Tuple[int, List[Any]]]:
+        """Distribute one epoch of input across workers.
+
+        Ingest itself is free (each computer reads its partition from
+        local storage, as in the paper's experiments); partitioned
+        connectors are honoured so keyed consumers stay correct.
+        """
+        if not records:
+            return []
+        total = self.total_workers
+        buckets: Dict[int, List[Any]] = {}
+        if connector.partitioner is not None:
+            partitioner = connector.partitioner
+            for record in records:
+                buckets.setdefault(partitioner(record) % total, []).append(record)
+        else:
+            for offset, record in enumerate(records):
+                buckets.setdefault(offset % total, []).append(record)
+        return list(buckets.items())
+
+    def _input_closed(self, stage: Stage, next_epoch: int) -> None:
+        self._controller_broadcast(
+            [(Pointstamp(Timestamp(next_epoch), stage), -1)]
+        )
+
+    def _controller_broadcast(self, updates: List[Tuple[Pointstamp, int]]) -> None:
+        """Low-volume control-plane updates from the controller (proc 0)."""
+        size = wire_size(updates)
+        for dst in range(self.num_processes):
+            node = self.nodes[dst]
+            self.network.send(
+                0, dst, size, "progress", lambda n=node: n.receive(updates, ())
+            )
+
+    def _inject_checkpoint_pause(self) -> None:
+        """Section 3.4: pause all workers while state is written."""
+        ft = self.fault_tolerance
+        duration = ft.state_bytes_per_worker / ft.disk_bandwidth
+        resume = self.sim.now + duration
+        for worker in self.workers:
+            worker.busy_until = max(worker.busy_until, resume)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:  # pragma: no cover - thin alias
+        return self.sim.step()
+
+    def run(self, max_events: Optional[int] = None, until: Optional[float] = None) -> float:
+        """Run the simulation until idle; returns virtual elapsed time."""
+        self._check_built()
+        start = self.sim.now
+        self.sim.run(until=until, max_events=max_events)
+        return self.sim.now - start
+
+    def drained(self) -> bool:
+        return (
+            all(len(view.state) == 0 for view in self.views)
+            and not any(worker.has_work() for worker in self.workers)
+            and self.sim.pending_events == 0
+        )
+
+    def debug_state(self) -> str:
+        lines = ["t=%.6f pending_events=%d" % (self.sim.now, self.sim.pending_events)]
+        for process, view in enumerate(self.views):
+            if len(view.state):
+                lines.append(
+                    "  process %d view: %r" % (process, view.state.occurrence)
+                )
+        for worker in self.workers:
+            if worker.has_work():
+                lines.append(
+                    "  worker %d: queue=%d pending=%r"
+                    % (worker.index, len(worker.queue), worker.pending_notifications)
+                )
+        for node in self.nodes:
+            if node.buffer:
+                lines.append("  node %d buffer: %r" % (node.process, node.buffer))
+        if self.central is not None and self.central.buffer:
+            lines.append("  central buffer: %r" % (self.central.buffer,))
+        return "\n".join(lines)
+
+    # The reference-runtime checkpoint API does not apply here;
+    # fault tolerance is modeled by FaultTolerance policies.
+    def checkpoint(self):  # pragma: no cover - guidance only
+        raise NotImplementedError(
+            "use FaultTolerance policies on the cluster runtime; the "
+            "reference runtime supports checkpoint()/restore() directly"
+        )
+
+    restore = checkpoint
+
+    def __repr__(self) -> str:
+        return "ClusterComputation(%d procs x %d workers, mode=%s)" % (
+            self.num_processes,
+            self.workers_per_process,
+            self.progress_mode,
+        )

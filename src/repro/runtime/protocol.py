@@ -1,0 +1,391 @@
+"""The distributed progress tracking protocol (paper section 3.3).
+
+Workers never update their local occurrence counts directly.  Instead,
+every callback completion produces an ordered batch of ``(pointstamp,
+delta)`` progress updates — the ``+1`` for each send and notification
+request, followed by the ``-1`` for the event just processed — which is
+disseminated to a *local view* (:class:`repro.core.progress.ProgressState`)
+at every process.  Broadcasts between a pair of nodes are FIFO; across
+nodes they interleave arbitrarily, so views can transiently disagree
+(and counts can dip negative), but no local frontier ever passes the
+global frontier.
+
+Dissemination runs in one of four modes, matching Figure 6c:
+
+``none``
+    every worker batch is broadcast to all processes immediately;
+``local``
+    batches accumulate in a per-process buffer that nets matching
+    updates and flushes only when the safety condition requires;
+``global``
+    batches go to a central (cluster-level) accumulator that nets
+    updates from all processes before broadcasting;
+``local+global``
+    both: process-level buffers feed the central accumulator.
+
+The buffering safety condition is the paper's: a buffered pointstamp
+``p`` may be withheld while either (a) some *other* element of the local
+frontier could-result-in ``p``, or (b) ``p`` is a vertex (stage)
+pointstamp whose net update — local count, plus buffered delta, plus
+updates sent but not yet seen back — is strictly positive.  When any
+buffered pointstamp fails both tests the whole buffer is flushed, with
+positive deltas sent before negative ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.graph import Stage
+from ..core.progress import Pointstamp, ProgressState
+from ..sim.network import Network
+
+#: One progress update on the wire: location id + timestamp + delta.
+UPDATE_WIRE_BYTES = 20
+
+ProgressUpdate = Tuple[Pointstamp, int]
+
+PROTOCOL_MODES = ("none", "local", "global", "local+global")
+
+
+def wire_size(updates: List[ProgressUpdate]) -> int:
+    return UPDATE_WIRE_BYTES * len(updates)
+
+
+def _may_hold_update(
+    state: ProgressState,
+    pointstamp: Pointstamp,
+    buffered: int,
+    in_flight: int,
+) -> bool:
+    """The paper's buffering safety condition, amended for liveness.
+
+    (a) Some *other* element of the local frontier could-result-in the
+    pointstamp: flushing can wait, because no recipient's frontier can
+    advance past it anyway.
+
+    (b) For a vertex pointstamp whose buffered delta is *positive* and
+    whose net update (local count + buffer + in-flight) stays strictly
+    positive: withholding a surplus ``+1`` cannot wrongly advance anyone.
+
+    The amendment: the paper states (b) without the positive-delta
+    restriction, but two processes that each hold notification *decrements*
+    under (b) — each computing a positive net from its own view, unaware
+    of the other's withheld ``-1`` — deadlock the computation.  Restricting
+    (b) to positive buffered deltas preserves the traffic savings (netting
+    still cancels matched pairs in-buffer) and guarantees that decrements
+    eventually disseminate.
+    """
+    if state.frontier_dominates(pointstamp):
+        return True
+    if buffered > 0 and isinstance(pointstamp.location, Stage):
+        net = state.occurrence.get(pointstamp, 0) + buffered + in_flight
+        if net > 0:
+            return True
+    return False
+
+
+def net_updates(updates: List[ProgressUpdate]) -> List[ProgressUpdate]:
+    """Combine updates with the same pointstamp; positives first."""
+    combined: Dict[Pointstamp, int] = {}
+    for pointstamp, delta in updates:
+        combined[pointstamp] = combined.get(pointstamp, 0) + delta
+    merged = [(p, d) for p, d in combined.items() if d != 0]
+    merged.sort(key=lambda item: item[1], reverse=True)
+    return merged
+
+
+class ProgressView:
+    """A process's local view of global progress.
+
+    Wraps a :class:`ProgressState` and the worker notification recheck
+    hook: whenever updates are applied, pending notifications at this
+    process may have become deliverable.
+    """
+
+    def __init__(
+        self,
+        summaries,
+        on_change: Optional[Callable[[], None]] = None,
+        cri_cache: Optional[Dict] = None,
+    ):
+        self.state = ProgressState(summaries, cri_cache=cri_cache)
+        self.on_change = on_change
+
+    def apply(self, updates: List[ProgressUpdate]) -> None:
+        state = self.state
+        before = state.version
+        for pointstamp, delta in updates:
+            state.update(pointstamp, delta)
+        # Deliverability can only change when the frontier moved.
+        if self.on_change is not None and state.version != before:
+            self.on_change()
+
+    def unblocked(self, pointstamp: Pointstamp) -> bool:
+        """True when no *other* active pointstamp could-result-in it.
+
+        This is the delivery test for notifications: the requesting
+        worker knows its own request exists, so the pointstamp itself
+        need not be visible in the view (its ``+1`` may still be held in
+        an accumulator elsewhere).  Scanning the frontier suffices:
+        could-result-in is transitive and every active pointstamp is
+        dominated by some frontier element, so an active blocker implies
+        a frontier blocker.
+        """
+        return not self.state.frontier_dominates(pointstamp)
+
+
+class ProtocolNode:
+    """Per-process protocol endpoint: buffering, flushing, dissemination.
+
+    One node exists per process; in the ``global`` modes a single extra
+    :class:`CentralAccumulator` nets updates cluster-wide.  The node with
+    index 0 hosts the central accumulator (mirroring Naiad, where the
+    cluster-level accumulator lives in one process).
+    """
+
+    def __init__(
+        self,
+        process: int,
+        num_processes: int,
+        mode: str,
+        view: ProgressView,
+        network: Network,
+        nodes: List["ProtocolNode"],
+        central: Optional["CentralAccumulator"],
+    ):
+        if mode not in PROTOCOL_MODES:
+            raise ValueError("unknown protocol mode %r" % mode)
+        self.process = process
+        self.num_processes = num_processes
+        self.mode = mode
+        self.view = view
+        self.network = network
+        self.nodes = nodes
+        self.central = central
+        self.buffer: Dict[Pointstamp, int] = {}
+        self._in_flight: Dict[int, List[ProgressUpdate]] = {}
+        self._in_flight_totals: Dict[Pointstamp, int] = {}
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    # Worker-side entry point.
+    # ------------------------------------------------------------------
+
+    def submit(self, updates: List[ProgressUpdate]) -> None:
+        """A worker on this process finished a callback."""
+        if not updates:
+            return
+        if self.mode == "none":
+            self._broadcast(net_updates(updates))
+        elif self.mode == "global":
+            self._send_to_central(net_updates(updates))
+        else:  # local accumulation (with or without global)
+            for pointstamp, delta in updates:
+                self.buffer[pointstamp] = self.buffer.get(pointstamp, 0) + delta
+                if self.buffer[pointstamp] == 0:
+                    del self.buffer[pointstamp]
+            self._maybe_flush()
+
+    # ------------------------------------------------------------------
+    # The buffering safety condition.
+    # ------------------------------------------------------------------
+
+    def _may_hold(self, pointstamp: Pointstamp, buffered: int) -> bool:
+        return _may_hold_update(
+            self.view.state,
+            pointstamp,
+            buffered,
+            self._in_flight_totals.get(pointstamp, 0),
+        )
+
+    def _maybe_flush(self) -> None:
+        if not self.buffer:
+            return
+        if all(self._may_hold(p, d) for p, d in self.buffer.items()):
+            return
+        updates = net_updates(list(self.buffer.items()))
+        self.buffer.clear()
+        if self.mode == "local+global":
+            self._send_to_central(updates)
+        else:
+            self._broadcast(updates)
+
+    # ------------------------------------------------------------------
+    # Dissemination.
+    # ------------------------------------------------------------------
+
+    def _remember_in_flight(self, updates: List[ProgressUpdate]) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        self._in_flight[seq] = updates
+        totals = self._in_flight_totals
+        for pointstamp, delta in updates:
+            totals[pointstamp] = totals.get(pointstamp, 0) + delta
+        return seq
+
+    def _forget_in_flight(self, seq: int) -> None:
+        updates = self._in_flight.pop(seq, None)
+        if updates is None:
+            return
+        totals = self._in_flight_totals
+        for pointstamp, delta in updates:
+            remaining = totals.get(pointstamp, 0) - delta
+            if remaining:
+                totals[pointstamp] = remaining
+            else:
+                totals.pop(pointstamp, None)
+
+    def _broadcast(self, updates: List[ProgressUpdate]) -> None:
+        if not updates:
+            return
+        seq = self._remember_in_flight(updates)
+        covered = ((self.process, seq),)
+        size = wire_size(updates)
+        for dst in range(self.num_processes):
+            node = self.nodes[dst]
+            self.network.send(
+                self.process,
+                dst,
+                size,
+                "progress",
+                lambda node=node: node.receive(updates, covered),
+            )
+
+    def _send_to_central(self, updates: List[ProgressUpdate]) -> None:
+        if not updates:
+            return
+        seq = self._remember_in_flight(updates)
+        central = self.central
+        self.network.send(
+            self.process,
+            central.process,
+            wire_size(updates),
+            "progress",
+            lambda: central.accumulate(updates, (self.process, seq)),
+        )
+
+    def receive(
+        self,
+        updates: List[ProgressUpdate],
+        covered: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        """A progress broadcast arrived at this process."""
+        for origin, seq in covered:
+            if origin == self.process:
+                self._forget_in_flight(seq)
+        self.view.apply(updates)
+        # The paper: on receiving updates the accumulator must re-test
+        # whether its buffered pointstamps may still be withheld.
+        self._maybe_flush()
+
+
+class CentralAccumulator:
+    """The cluster-level accumulator (hosted on one process).
+
+    Nets updates arriving from process nodes and broadcasts their
+    combined effect, subject to the same safety condition evaluated
+    against the hosting process's view.
+    """
+
+    def __init__(
+        self,
+        process: int,
+        num_processes: int,
+        view: ProgressView,
+        network: Network,
+        nodes: List[ProtocolNode],
+    ):
+        self.process = process
+        self.num_processes = num_processes
+        self.view = view
+        self.network = network
+        self.nodes = nodes
+        self.buffer: Dict[Pointstamp, int] = {}
+        self._covered: List[Tuple[int, int]] = []
+        self._in_flight: Dict[int, List[ProgressUpdate]] = {}
+        self._in_flight_totals: Dict[Pointstamp, int] = {}
+        self._next_seq = 0
+
+    def accumulate(
+        self, updates: List[ProgressUpdate], origin: Tuple[int, int]
+    ) -> None:
+        for pointstamp, delta in updates:
+            self.buffer[pointstamp] = self.buffer.get(pointstamp, 0) + delta
+            if self.buffer[pointstamp] == 0:
+                del self.buffer[pointstamp]
+        self._covered.append(origin)
+        self._maybe_flush()
+
+    def _may_hold(self, pointstamp: Pointstamp, buffered: int) -> bool:
+        return _may_hold_update(
+            self.view.state,
+            pointstamp,
+            buffered,
+            self._in_flight_totals.get(pointstamp, 0),
+        )
+
+    def recheck(self) -> None:
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if not self.buffer:
+            if self._covered:
+                # All buffered updates cancelled: acknowledge origins so
+                # their in-flight ledgers do not pin condition (b).
+                self._broadcast([], tuple(self._covered))
+                self._covered = []
+            return
+        if all(self._may_hold(p, d) for p, d in self.buffer.items()):
+            return
+        updates = net_updates(list(self.buffer.items()))
+        covered = tuple(self._covered)
+        self.buffer.clear()
+        self._covered = []
+        self._broadcast(updates, covered)
+
+    def _broadcast(
+        self,
+        updates: List[ProgressUpdate],
+        covered: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        seq = self._next_seq
+        self._next_seq += 1
+        if updates:
+            self._in_flight[seq] = updates
+            totals = self._in_flight_totals
+            for pointstamp, delta in updates:
+                totals[pointstamp] = totals.get(pointstamp, 0) + delta
+        covered = covered + ((-1, seq),)
+        size = wire_size(updates)
+        for dst in range(self.num_processes):
+            node = self.nodes[dst]
+            self.network.send(
+                self.process,
+                dst,
+                size,
+                "progress",
+                lambda node=node: self._deliver(node, updates, covered),
+            )
+
+    def _deliver(
+        self,
+        node: ProtocolNode,
+        updates: List[ProgressUpdate],
+        covered: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        if node.process == self.process:
+            for origin, seq in covered:
+                if origin == -1:
+                    acked = self._in_flight.pop(seq, None)
+                    if acked:
+                        totals = self._in_flight_totals
+                        for pointstamp, delta in acked:
+                            remaining = totals.get(pointstamp, 0) - delta
+                            if remaining:
+                                totals[pointstamp] = remaining
+                            else:
+                                totals.pop(pointstamp, None)
+        node.receive(updates, covered)
+        if node.process == self.process:
+            self.recheck()

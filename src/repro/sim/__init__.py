@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate for the distributed runtime.
+
+See DESIGN.md ("The central substitution") for why the paper's physical
+cluster is reproduced as a simulation: the phenomena the evaluation
+measures are properties of the protocol state machines and dataflow
+structure, which execute for real here, while time and bytes follow
+calibrated models.
+"""
+
+from .des import Simulator
+from .network import Network, NetworkConfig, TrafficStats
+
+__all__ = ["Network", "NetworkConfig", "Simulator", "TrafficStats"]

@@ -1,0 +1,106 @@
+"""A small discrete-event simulation kernel.
+
+The distributed runtime of :mod:`repro.runtime` executes on this
+simulator: workers, network links and protocol actors schedule callbacks
+at points in *virtual time*.  Causality within the simulation is real —
+vertices really execute and exchange real records — while elapsed time
+and bytes are modeled, which is what makes laptop-scale reproduction of
+the paper's cluster experiments possible (see DESIGN.md).
+
+Events scheduled for the same instant fire in schedule order (a stable
+FIFO tie-break), which keeps runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """An event queue with a virtual clock and a seeded RNG."""
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._background: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._events_executed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule at %r; the clock is already at %r" % (time, self.now)
+            )
+        heapq.heappush(self._queue, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_background(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule an environment event (e.g. a GC pause generator).
+
+        Background events fire only while foreground work remains; they
+        never keep the simulation alive on their own, so perpetual
+        self-rescheduling processes cannot prevent quiescence.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        heapq.heappush(self._background, (self.now + delay, self._sequence, callback))
+        self._sequence += 1
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        horizon = self._queue[0][0]
+        while self._background and self._background[0][0] <= horizon:
+            time, _, callback = heapq.heappop(self._background)
+            self.now = max(self.now, time)
+            callback()
+            horizon = self._queue[0][0]
+        time, _, callback = heapq.heappop(self._queue)
+        self.now = max(self.now, time)
+        callback()
+        self._events_executed += 1
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when virtual time would pass
+        ``until``, or after ``max_events`` events.  Returns the number of
+        events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def __repr__(self) -> str:
+        return "Simulator(now=%.6f, pending=%d)" % (self.now, len(self._queue))

@@ -1,0 +1,177 @@
+"""Cluster network and micro-straggler models (paper sections 3.5, 5).
+
+The evaluation cluster of the paper: two racks of 32 computers, Gigabit
+Ethernet NICs, a 40 Gbps uplink per rack switch.  This module models the
+pieces of that environment that shape the paper's results:
+
+- **Links** with per-message latency and NIC bandwidth occupancy; a
+  process's NIC serialises egress and ingress transfers, which creates
+  the incast contention the paper observes at progress accumulators.
+- **Micro-stragglers** (section 3.5): probabilistic packet loss that
+  costs a retransmission timeout, and garbage-collection pauses that
+  stall an entire process.  Both are switchable so benchmarks can show
+  mitigated vs. unmitigated configurations (e.g. 20 ms vs. 300 ms
+  minimum retransmit timers, Nagle delays on vs. off).
+- **Traffic accounting** by category (``data`` vs. ``progress``), used
+  directly by the Figure 6c reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from .des import Simulator
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable constants for the cluster model.
+
+    Defaults approximate the paper's hardware (section 5): Gigabit
+    Ethernet (125 MB/s), ~100 µs base one-way latency, Windows TCP
+    tuning as described in section 3.5.
+    """
+
+    #: One-way propagation + protocol latency for a remote message (s).
+    latency: float = 100e-6
+    #: NIC bandwidth in bytes/second (Gigabit Ethernet).
+    bandwidth: float = 125e6
+    #: Fixed per-message wire overhead (headers, framing), bytes.
+    per_message_bytes: int = 64
+    #: Latency for a message between workers of the same process (s).
+    local_latency: float = 2e-6
+    #: Probability a message suffers a loss/retransmission event.
+    packet_loss_probability: float = 0.0
+    #: Delay paid on a loss (minimum retransmit timeout).  The paper
+    #: reduces this from 300 ms (Windows default) to 20 ms.
+    retransmit_timeout: float = 20e-3
+    #: Nagle/delayed-ACK penalty applied to small messages when the
+    #: default TCP configuration is left in place (0 = disabled, the
+    #: tuned configuration of section 3.5).
+    nagle_delay: float = 0.0
+    #: Messages smaller than this are subject to the Nagle penalty.
+    small_message_bytes: int = 512
+
+    #: Mean interval between GC pauses per process (s); 0 disables GC.
+    gc_interval: float = 0.0
+    #: Mean GC pause duration (s).
+    gc_pause: float = 0.0
+
+
+@dataclass
+class TrafficStats:
+    """Bytes and message counts by traffic category."""
+
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    messages_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, size: int) -> None:
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+
+    def bytes(self, kind: str) -> int:
+        return self.bytes_by_kind.get(kind, 0)
+
+    def messages(self, kind: str) -> int:
+        return self.messages_by_kind.get(kind, 0)
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())
+
+
+class Network:
+    """Point-to-point message delivery between processes.
+
+    Remote messages occupy the sender's egress NIC and the receiver's
+    ingress NIC for ``size / bandwidth`` seconds each, so concurrent
+    transfers queue — reproducing both the throughput ceiling of Figure
+    6a and the incast behaviour at accumulators.  Delivery between a
+    pair of processes is FIFO (TCP in-order semantics).
+    """
+
+    def __init__(self, sim: Simulator, num_processes: int, config: NetworkConfig):
+        self.sim = sim
+        self.config = config
+        self.num_processes = num_processes
+        self.stats = TrafficStats()
+        self._egress_free = [0.0] * num_processes
+        self._ingress_free = [0.0] * num_processes
+        self._fifo_last: Dict[Tuple[int, int], float] = {}
+        self._gc_busy_until = [0.0] * num_processes
+        if config.gc_interval > 0:
+            for process in range(num_processes):
+                self._schedule_gc(process)
+
+    # ------------------------------------------------------------------
+    # GC pauses (section 3.5): a paused process neither sends nor
+    # receives until the collector finishes.
+    # ------------------------------------------------------------------
+
+    def _schedule_gc(self, process: int) -> None:
+        interval = self.sim.rng.expovariate(1.0 / self.config.gc_interval)
+
+        def pause() -> None:
+            duration = self.sim.rng.expovariate(1.0 / self.config.gc_pause)
+            self._gc_busy_until[process] = max(
+                self._gc_busy_until[process], self.sim.now + duration
+            )
+            self._schedule_gc(process)
+
+        self.sim.schedule_background(interval, pause)
+
+    def process_available_at(self, process: int) -> float:
+        """Earliest time the process can do work (after any GC pause)."""
+        return max(self.sim.now, self._gc_busy_until[process])
+
+    # ------------------------------------------------------------------
+    # Message delivery.
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        kind: str,
+        deliver: Callable[[], None],
+    ) -> float:
+        """Model sending ``size`` payload bytes from ``src`` to ``dst``.
+
+        ``deliver`` runs at the (virtual) arrival time, which is also
+        returned.  ``kind`` tags the traffic for accounting.
+        """
+        config = self.config
+        wire_size = size + config.per_message_bytes
+        self.stats.record(kind, wire_size)
+        now = self.sim.now
+        if src == dst:
+            arrival = now + config.local_latency
+            self.sim.schedule_at(arrival, deliver)
+            return arrival
+        transfer = wire_size / config.bandwidth
+        start = max(now, self._egress_free[src], self._gc_busy_until[src])
+        self._egress_free[src] = start + transfer
+        # Cut-through: bytes stream, so the receive occupies the ingress
+        # NIC for one transfer time beginning when the first byte lands
+        # (or when the NIC frees up, under incast contention).
+        receive_start = max(start + config.latency, self._ingress_free[dst])
+        arrival = receive_start + transfer
+        self._ingress_free[dst] = arrival
+        if (
+            config.nagle_delay > 0
+            and wire_size < config.small_message_bytes
+        ):
+            arrival += config.nagle_delay
+        if (
+            config.packet_loss_probability > 0
+            and self.sim.rng.random() < config.packet_loss_probability
+        ):
+            arrival += config.retransmit_timeout
+        arrival = max(arrival, self._gc_busy_until[dst])
+        # FIFO per process pair.
+        key = (src, dst)
+        arrival = max(arrival, self._fifo_last.get(key, 0.0))
+        self._fifo_last[key] = arrival
+        self.sim.schedule_at(arrival, deliver)
+        return arrival

@@ -1,0 +1,36 @@
+"""Synthetic dataset generators standing in for the paper's datasets.
+
+See DESIGN.md for the substitution table (what the paper used, what we
+generate, and why the substitution preserves the measured behaviour).
+"""
+
+from .graphs import (
+    power_law_graph,
+    undirected_adjacency,
+    uniform_random_graph,
+    weak_scaling_graph,
+    zorder,
+)
+from .text import generate_corpus, zipf_words
+from .tweets import (
+    Tweet,
+    TweetGenerator,
+    TweetStreamConfig,
+    hashtag_records,
+    mention_edges,
+)
+
+__all__ = [
+    "Tweet",
+    "TweetGenerator",
+    "TweetStreamConfig",
+    "generate_corpus",
+    "hashtag_records",
+    "mention_edges",
+    "power_law_graph",
+    "undirected_adjacency",
+    "uniform_random_graph",
+    "weak_scaling_graph",
+    "zipf_words",
+    "zorder",
+]

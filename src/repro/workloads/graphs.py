@@ -1,0 +1,95 @@
+"""Synthetic graph generators for the evaluation workloads.
+
+The paper's experiments use graphs we cannot ship: a 300M-edge uniform
+random graph (Figure 6c), weak-scaling random graphs with 18.2M edges
+per computer (Figure 6e), the Twitter follower graph (Figure 7a) and the
+ClueWeb09 Category A web graph (Table 1).  These generators produce
+scaled-down graphs with the same statistical character: uniform random
+(Erdős–Rényi-style multigraphs) for the WCC experiments and power-law
+(preferential attachment) graphs for the social/web workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+Edge = Tuple[int, int]
+
+
+def uniform_random_graph(num_nodes: int, num_edges: int, seed: int = 0) -> List[Edge]:
+    """Uniform random directed edges (the paper's WCC input shape)."""
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(num_nodes), rng.randrange(num_nodes))
+        for _ in range(num_edges)
+    ]
+
+
+def power_law_graph(
+    num_nodes: int,
+    edges_per_node: int = 4,
+    seed: int = 0,
+) -> List[Edge]:
+    """Preferential-attachment graph (Twitter/web-like degree skew).
+
+    Each arriving node links to ``edges_per_node`` targets chosen with
+    probability proportional to in-degree (plus one smoothing), giving
+    the heavy-tailed degree distribution that makes vertex-cut
+    partitioning matter in Figure 7a.
+    """
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    # Repeated-endpoint trick: sampling uniformly from the endpoint list
+    # is equivalent to degree-proportional sampling.
+    endpoints: List[int] = [0]
+    for node in range(1, num_nodes):
+        for _ in range(edges_per_node):
+            target = endpoints[rng.randrange(len(endpoints))]
+            edges.append((node, target))
+            endpoints.append(target)
+        endpoints.append(node)
+    return edges
+
+
+def weak_scaling_graph(
+    num_computers: int,
+    nodes_per_computer: int,
+    edges_per_computer: int,
+    seed: int = 0,
+) -> List[Edge]:
+    """The Figure 6e construction: constant nodes/edges per computer.
+
+    Nodes and edges grow linearly with the cluster size; edges connect
+    uniformly random nodes across the whole (growing) graph, so the
+    fraction of remote edges grows as ``(n-1)/n`` — the effect the paper
+    uses to explain the weak-scaling degradation.
+    """
+    return uniform_random_graph(
+        num_computers * nodes_per_computer,
+        num_computers * edges_per_computer,
+        seed=seed,
+    )
+
+
+def undirected_adjacency(edges: List[Edge]) -> dict:
+    """Adjacency dict treating edges as undirected (for WCC oracles)."""
+    adjacency: dict = {}
+    for u, v in edges:
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+    return adjacency
+
+
+def zorder(u: int, v: int, bits: int = 16) -> int:
+    """Interleave the bits of ``(u, v)`` (a space-filling curve).
+
+    Used by the "Naiad Edge" PageRank variant (section 6.1): edges close
+    in (src, dst) space land in the same partition, approximating
+    PowerGraph's vertex-cut objective with a cheap static function.
+    """
+    out = 0
+    for bit in range(bits):
+        out |= ((u >> bit) & 1) << (2 * bit + 1)
+        out |= ((v >> bit) & 1) << (2 * bit)
+    return out

@@ -1,0 +1,52 @@
+"""Synthetic text corpus for the WordCount experiments (Figures 6d/6e).
+
+The paper uses a 12 GB Twitter corpus replicated to 128 GB.  We generate
+Zipf-distributed words (natural-language frequency shape), sized down;
+the WordCount benchmarks additionally scale record *counts* through the
+cost model rather than materialising gigabytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def zipf_words(vocabulary_size: int) -> List[str]:
+    return ["w%05d" % index for index in range(vocabulary_size)]
+
+
+def generate_corpus(
+    num_lines: int,
+    words_per_line: int = 10,
+    vocabulary_size: int = 1000,
+    exponent: float = 1.1,
+    seed: int = 0,
+) -> List[str]:
+    """Lines of Zipf-distributed words."""
+    rng = random.Random(seed)
+    vocabulary = zipf_words(vocabulary_size)
+    # Precompute the cumulative Zipf distribution.
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(vocabulary_size)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def sample_word() -> str:
+        x = rng.random()
+        lo, hi = 0, vocabulary_size - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return vocabulary[lo]
+
+    return [
+        " ".join(sample_word() for _ in range(words_per_line))
+        for _ in range(num_lines)
+    ]

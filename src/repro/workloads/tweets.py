@@ -1,0 +1,81 @@
+"""Synthetic tweet and query streams (sections 6.3 and 6.4).
+
+Tweets carry a user, mentions of other users and hashtags; the mention
+edges drive the incremental connected-components computation of the
+Figure 1 application, and the hashtags drive per-component top-hashtag
+maintenance and the k-exposure metric.  Queries ask for the top hashtag
+in a user's component.
+
+Users and hashtags are drawn from Zipf-like distributions (a few
+celebrities and trending tags dominate), mirroring the Twitter data the
+paper replays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Tweet:
+    user: int
+    mentions: Tuple[int, ...]
+    hashtags: Tuple[str, ...]
+
+
+@dataclass
+class TweetStreamConfig:
+    num_users: int = 10_000
+    num_hashtags: int = 500
+    mention_probability: float = 0.6
+    hashtag_probability: float = 0.8
+    skew: float = 1.0
+    seed: int = 0
+
+
+class TweetGenerator:
+    """Deterministic, seedable stream of tweets and queries."""
+
+    def __init__(self, config: TweetStreamConfig = TweetStreamConfig()):
+        self.config = config
+        self.rng = random.Random(config.seed)
+
+    def _zipf_index(self, n: int) -> int:
+        # Inverse-CDF approximation for a Zipf(1) distribution.
+        rng = self.rng
+        while True:
+            value = int(n ** rng.random()) - 1
+            if 0 <= value < n:
+                return value
+
+    def tweet(self) -> Tweet:
+        config, rng = self.config, self.rng
+        user = self._zipf_index(config.num_users)
+        mentions: List[int] = []
+        if rng.random() < config.mention_probability:
+            mentions.append(self._zipf_index(config.num_users))
+        hashtags: List[str] = []
+        if rng.random() < config.hashtag_probability:
+            hashtags.append("#tag%d" % self._zipf_index(config.num_hashtags))
+        return Tweet(user, tuple(mentions), tuple(hashtags))
+
+    def batch(self, count: int) -> List[Tweet]:
+        return [self.tweet() for _ in range(count)]
+
+    def query(self) -> int:
+        """A user asking for their component's top hashtag."""
+        return self._zipf_index(self.config.num_users)
+
+
+def mention_edges(tweets: List[Tweet]) -> List[Tuple[int, int]]:
+    return [
+        (tweet.user, mention) for tweet in tweets for mention in tweet.mentions
+    ]
+
+
+def hashtag_records(tweets: List[Tweet]) -> List[Tuple[int, str]]:
+    return [
+        (tweet.user, hashtag) for tweet in tweets for hashtag in tweet.hashtags
+    ]

@@ -1,0 +1,110 @@
+"""Tests for the AllReduce collectives (section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro import Computation
+from repro.lib import Stream, allreduce, tree_allreduce
+from repro.runtime import ClusterComputation
+
+
+def run_allreduce(builder, vectors, epochs=1, cluster_shape=(2, 2), combine=np.add):
+    comp = ClusterComputation(
+        num_processes=cluster_shape[0], workers_per_process=cluster_shape[1]
+    )
+    inp = comp.new_input()
+    got = {}
+    builder(Stream.from_input(inp), combine=combine).subscribe(
+        lambda t, recs: got.update({(t.epoch, w): v for w, v in recs})
+    )
+    comp.build()
+    # Route each worker's contribution to that worker's input vertex.
+    inp.stage.outputs[0][0].partitioner = lambda rec: rec[0]
+    for _ in range(epochs):
+        inp.on_next([(w, v) for w, v in enumerate(vectors)])
+    inp.on_completed()
+    comp.run()
+    assert comp.drained(), comp.debug_state()
+    return got, comp
+
+
+VECTORS4 = [np.arange(16, dtype=float) * (w + 1) for w in range(4)]
+
+
+class TestDataParallelAllReduce:
+    def test_every_worker_gets_the_sum(self):
+        got, _ = run_allreduce(allreduce, VECTORS4)
+        expected = sum(VECTORS4)
+        assert len(got) == 4
+        for value in got.values():
+            np.testing.assert_array_equal(value, expected)
+
+    def test_multiple_epochs(self):
+        got, _ = run_allreduce(allreduce, VECTORS4, epochs=3)
+        assert len(got) == 12
+        expected = sum(VECTORS4)
+        for value in got.values():
+            np.testing.assert_array_equal(value, expected)
+
+    def test_single_worker(self):
+        got, _ = run_allreduce(
+            allreduce, [np.ones(5)], cluster_shape=(1, 1)
+        )
+        assert len(got) == 1
+        np.testing.assert_array_equal(got[(0, 0)], np.ones(5))
+
+    def test_short_vector(self):
+        # Vector shorter than the worker count: empty chunks are fine.
+        got, _ = run_allreduce(allreduce, [np.array([1.0, 2.0])] * 4)
+        for value in got.values():
+            np.testing.assert_array_equal(value, np.array([4.0, 8.0]))
+
+    def test_other_combiner(self):
+        got, _ = run_allreduce(
+            allreduce, VECTORS4, combine=np.maximum
+        )
+        expected = np.maximum.reduce(VECTORS4)
+        for value in got.values():
+            np.testing.assert_array_equal(value, expected)
+
+
+class TestTreeAllReduce:
+    def test_every_worker_gets_the_sum(self):
+        got, _ = run_allreduce(tree_allreduce, VECTORS4)
+        expected = sum(VECTORS4)
+        assert len(got) == 4
+        for value in got.values():
+            np.testing.assert_array_equal(value, expected)
+
+    def test_non_power_of_two(self):
+        vectors = [np.arange(8, dtype=float) * (w + 1) for w in range(6)]
+        got, _ = run_allreduce(tree_allreduce, vectors, cluster_shape=(3, 2))
+        expected = sum(vectors)
+        assert len(got) == 6
+        for value in got.values():
+            np.testing.assert_array_equal(value, expected)
+
+    def test_reference_runtime_single_worker(self):
+        comp = Computation()
+        inp = comp.new_input()
+        got = []
+        tree_allreduce(Stream.from_input(inp)).subscribe(
+            lambda t, recs: got.extend(recs)
+        )
+        comp.build()
+        inp.on_next([(0, np.array([1.0, 2.0, 3.0]))])
+        inp.on_completed()
+        comp.run()
+        assert len(got) == 1
+        np.testing.assert_array_equal(got[0][1], np.array([1.0, 2.0, 3.0]))
+
+
+class TestCommunicationShape:
+    def test_data_parallel_moves_less_through_any_one_nic(self):
+        # The paper's argument for the data-parallel variant: the tree's
+        # root is a bandwidth bottleneck, so the data-parallel AllReduce
+        # finishes faster on a flat network for the same vector size.
+        vectors = [np.zeros(1 << 14) for _ in range(8)]
+        _, comp_dp = run_allreduce(allreduce, vectors, cluster_shape=(8, 1))
+        _, comp_tree = run_allreduce(tree_allreduce, vectors, cluster_shape=(8, 1))
+        assert comp_dp.now < comp_tree.now

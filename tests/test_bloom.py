@@ -1,0 +1,170 @@
+"""Tests for the asynchronous Bloom-style library (section 4.2)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Computation
+from repro.lib import (
+    Stream,
+    async_distinct,
+    async_join,
+    monotonic_aggregate,
+    transitive_closure,
+)
+
+
+def build(program):
+    comp = Computation()
+    inp = comp.new_input()
+    out = []
+    program(Stream.from_input(inp)).subscribe(lambda t, recs: out.extend(recs))
+    comp.build()
+    return comp, inp, out
+
+
+class TestAsyncDistinct:
+    def test_dedupes_across_epochs(self):
+        comp, inp, out = build(lambda s: async_distinct(s))
+        inp.on_next([1, 2, 1])
+        inp.on_next([2, 3])
+        inp.on_completed()
+        comp.run()
+        assert sorted(out) == [1, 2, 3]
+
+    def test_no_notifications_used(self):
+        comp, inp, out = build(lambda s: async_distinct(s))
+        inp.on_next([1])
+        inp.on_completed()
+        comp.run()
+        # Only the subscribe sink requests notifications.
+        assert comp.delivered_notifications == 1
+
+
+class TestAsyncJoin:
+    def test_joins_across_epochs(self):
+        comp = Computation()
+        a, b = comp.new_input(), comp.new_input()
+        out = []
+        async_join(
+            Stream.from_input(a),
+            Stream.from_input(b),
+            lambda x: x,
+            lambda y: y,
+            lambda x, y: (x, y),
+        ).subscribe(lambda t, recs: out.extend(recs))
+        comp.build()
+        a.on_next([1])
+        b.on_next([])
+        comp.run()
+        assert out == []
+        a.on_next([])
+        b.on_next([1])  # joins with the epoch-0 left record
+        a.on_completed()
+        b.on_completed()
+        comp.run()
+        assert out == [(1, 1)]
+
+    def test_output_timestamp_is_lub(self):
+        comp = Computation()
+        a, b = comp.new_input(), comp.new_input()
+        times = []
+        async_join(
+            Stream.from_input(a),
+            Stream.from_input(b),
+            lambda x: x,
+            lambda y: y,
+            lambda x, y: (x, y),
+        ).subscribe(lambda t, recs: times.append(t.epoch))
+        comp.build()
+        a.on_next([7])
+        b.on_next([])
+        a.on_next([])
+        b.on_next([7])
+        a.on_completed()
+        b.on_completed()
+        comp.run()
+        assert times == [1]  # lub(epoch 0, epoch 1)
+
+    def test_context_mismatch_rejected(self):
+        from repro.lib import Loop
+
+        comp = Computation()
+        a = Stream.from_input(comp.new_input())
+        b = Stream.from_input(comp.new_input())
+        entered = a.enter(Loop(comp))
+        with pytest.raises(ValueError):
+            async_join(entered, b, lambda x: x, lambda y: y, lambda x, y: x)
+
+
+class TestTransitiveClosure:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx(self, edges):
+        comp, inp, out = build(lambda s: transitive_closure(s))
+        inp.on_next(edges)
+        inp.on_completed()
+        comp.run()
+        g = nx.DiGraph(edges)
+        # Reachability via paths of length >= 1 (includes (u, u) when u
+        # sits on a cycle, which nx.descendants alone would miss).
+        expected = set()
+        for src in g.nodes:
+            for succ in g.successors(src):
+                expected.add((src, succ))
+                for dst in nx.descendants(g, succ):
+                    expected.add((src, dst))
+        # TC emits derived pairs (paths of length >= 2 may duplicate
+        # input edges); together with input edges it covers reachability.
+        derived = set(out) | set(edges)
+        assert expected <= derived
+        # And it derives nothing unreachable.
+        closure = expected | set(edges)
+        assert set(out) <= closure
+
+    def test_incremental_epochs(self):
+        # Async state accumulates across epochs (the growing Datalog
+        # database): an edge arriving later extends earlier paths, and
+        # the derived pair appears at the lub epoch.
+        comp, inp, out = build(lambda s: transitive_closure(s))
+        inp.on_next([(0, 1)])
+        comp.run()
+        assert out == []
+        inp.on_next([(1, 2)])
+        inp.on_completed()
+        comp.run()
+        assert out == [(0, 2)]
+
+
+class TestMonotonicAggregate:
+    def test_emits_improvements_only(self):
+        comp, inp, out = build(
+            lambda s: monotonic_aggregate(
+                s, key=lambda r: r[0], value=lambda r: r[1],
+                better=lambda new, cur: new > cur,
+            )
+        )
+        inp.on_next([("x", 1), ("x", 3), ("x", 2)])
+        inp.on_next([("x", 5), ("x", 4)])
+        inp.on_completed()
+        comp.run()
+        assert out == [("x", 1), ("x", 3), ("x", 5)]
+
+    def test_state_persists_across_epochs(self):
+        comp, inp, out = build(
+            lambda s: monotonic_aggregate(
+                s, key=lambda r: r[0], value=lambda r: r[1],
+                better=lambda new, cur: new < cur,
+            )
+        )
+        inp.on_next([("k", 10)])
+        inp.on_next([("k", 20)])  # not an improvement
+        inp.on_completed()
+        comp.run()
+        assert out == [("k", 10)]

@@ -1,0 +1,167 @@
+"""Tests for guarantee/capability-decoupled notifications (section 2.4).
+
+``notify_at(t, capability=False)`` requests a "state purging"
+notification: guaranteed not to fire before time ``t`` completes, but
+holding no pointstamp — so it never delays other notifications and may
+not produce events.
+"""
+
+import pytest
+
+from repro import Computation, Timestamp, Vertex
+from repro.core import TimestampViolation
+from repro.lib import Stream
+from repro.runtime import ClusterComputation
+
+
+class PurgingVertex(Vertex):
+    """Forwards eagerly; uses a capability-free notification to purge."""
+
+    # The log is shared with the test; keep it out of checkpoints.
+    _TRANSIENT_ATTRS = Vertex._TRANSIENT_ATTRS + ("log",)
+
+    def __init__(self, log):
+        super().__init__()
+        self.log = log
+        self.state = {}
+
+    def on_recv(self, port, records, t):
+        if t not in self.state:
+            self.state[t] = 0
+            self.notify_at(t, capability=False)
+        self.state[t] += len(records)
+        self.send_by(0, records, t)
+
+    def on_notify(self, t):
+        self.log.append(("purge", self.worker, t.epoch, self.state.pop(t)))
+
+
+def build(cluster=False):
+    comp = ClusterComputation(2, 2) if cluster else Computation()
+    inp = comp.new_input()
+    log = []
+    stage = comp.graph.new_stage(
+        "purging", lambda s, w: PurgingVertex(log), 1, 1
+    )
+    Stream.from_input(inp).connect_to(stage, 0)
+    out = Stream(comp, stage, 0).collect()
+    comp.build()
+    return comp, inp, log, out
+
+
+class TestReferenceRuntime:
+    def test_purge_fires_after_epoch_completes(self):
+        comp, inp, log, out = build()
+        inp.on_next([1, 2, 3])
+        comp.run()
+        assert log == [("purge", 0, 0, 3)]
+
+    def test_purge_does_not_block_downstream(self):
+        # A capability-free notification holds no pointstamp: the
+        # downstream subscriber's epoch completes regardless of whether
+        # the purge has been delivered.
+        comp, inp, log, out = build()
+        inp.on_next([7])
+        # Deliver the message and the downstream notification only.
+        while comp._message_queue or any(
+            comp.progress.in_frontier(p) for p in comp._pending_notifications
+        ):
+            comp.step()
+        assert [t.epoch for t, _ in out] == [0]
+
+    def test_purge_callback_cannot_send(self):
+        comp = Computation()
+        inp = comp.new_input()
+        log = []
+
+        class BadPurge(PurgingVertex):
+            def on_notify(self, t):
+                self.send_by(0, ["oops"], t)
+
+        stage = comp.graph.new_stage("bad", lambda s, w: BadPurge(log), 1, 1)
+        Stream.from_input(inp).connect_to(stage, 0)
+        Stream(comp, stage, 0).collect()
+        comp.build()
+        inp.on_next([1])
+        with pytest.raises(TimestampViolation):
+            comp.run()
+
+    def test_purge_callback_cannot_request_notification(self):
+        comp = Computation()
+        inp = comp.new_input()
+        log = []
+
+        class BadPurge(PurgingVertex):
+            def on_notify(self, t):
+                self.notify_at(Timestamp(t.epoch + 1))
+
+        stage = comp.graph.new_stage("bad", lambda s, w: BadPurge(log), 1, 1)
+        Stream.from_input(inp).connect_to(stage, 0)
+        Stream(comp, stage, 0).collect()
+        comp.build()
+        inp.on_next([1])
+        with pytest.raises(TimestampViolation):
+            comp.run()
+
+    def test_ordering_guarantee_still_holds(self):
+        # The purge for epoch e never fires before epoch e's messages.
+        comp, inp, log, out = build()
+        for e in range(4):
+            inp.on_next([e])
+        inp.on_completed()
+        comp.run()
+        assert [entry[2] for entry in log] == [0, 1, 2, 3]
+        assert all(entry[3] == 1 for entry in log)
+
+    def test_checkpoint_preserves_pending_cleanups(self):
+        comp, inp, log, out = build()
+        inp.on_next([1])
+        snapshot = comp.checkpoint()
+        assert snapshot["cleanups"] or comp._pending_cleanups
+        comp.restore(snapshot)
+        comp.run()
+        assert ("purge", 0, 0, 1) in log
+
+
+class TestClusterRuntime:
+    def test_purges_fire_on_every_worker(self):
+        comp, inp, log, out = build(cluster=True)
+        inp.on_next(list(range(8)))
+        inp.on_completed()
+        comp.run()
+        assert comp.drained()
+        # Every worker that received records purged exactly its share.
+        assert sum(entry[3] for entry in log) == 8
+        assert all(entry[2] == 0 for entry in log)
+
+    def test_no_protocol_traffic_for_cleanups(self):
+        # Compare progress bytes against the same vertex using a full
+        # notification: the capability-free version must emit fewer
+        # progress updates.
+        def run(capability):
+            comp = ClusterComputation(2, 2)
+            inp = comp.new_input()
+
+            class V(Vertex):
+                def __init__(self):
+                    super().__init__()
+                    self.seen = set()
+
+                def on_recv(self, port, records, t):
+                    if t not in self.seen:
+                        self.seen.add(t)
+                        self.notify_at(t, capability=capability)
+                    self.send_by(0, records, t)
+
+            stage = comp.graph.new_stage("v", lambda s, w: V(), 1, 1)
+            Stream.from_input(inp).connect_to(stage, 0)
+            Stream(comp, stage, 0).collect()
+            comp.build()
+            for e in range(5):
+                inp.on_next([e])
+            inp.on_completed()
+            comp.run()
+            assert comp.drained()
+            return comp.network.stats.bytes("progress")
+
+        assert run(capability=False) < run(capability=True)

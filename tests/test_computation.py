@@ -1,0 +1,318 @@
+"""Integration tests for the single-threaded reference runtime.
+
+Includes the paper's Figure 4 DistinctCount vertex and a recording
+harness that asserts the core notification-safety guarantee: on_notify(t)
+happens only after every on_recv at times t' <= t.
+"""
+
+import pytest
+
+from repro.core import Computation, Timestamp, TimestampViolation, Vertex
+
+
+def ts(epoch, *counters):
+    return Timestamp(epoch, tuple(counters))
+
+
+class Collect(Vertex):
+    # The sink is an external list shared with the test; it must survive
+    # checkpoint/restore untouched rather than being deep-copied.
+    _TRANSIENT_ATTRS = Vertex._TRANSIENT_ATTRS + ("sink",)
+
+    def __init__(self, sink):
+        super().__init__()
+        self.sink = sink
+
+    def on_recv(self, port, records, t):
+        self.sink.append((t, list(records)))
+
+
+class DistinctCount(Vertex):
+    """Figure 4 of the paper, transliterated."""
+
+    def __init__(self):
+        super().__init__()
+        self.counts = {}
+
+    def on_recv(self, port, records, t):
+        if t not in self.counts:
+            self.counts[t] = {}
+            self.notify_at(t)
+        for msg in records:
+            if msg not in self.counts[t]:
+                self.counts[t][msg] = 0
+                self.send_by(0, [msg], t)
+            self.counts[t][msg] += 1
+
+    def on_notify(self, t):
+        self.send_by(1, sorted(self.counts.pop(t).items()), t)
+
+
+def build_distinct_count():
+    comp = Computation()
+    inp = comp.new_input("in")
+    dc = comp.add_stage("distinct-count", DistinctCount, 1, 2)
+    distinct, counts = [], []
+    comp.connect(inp.stage, dc)
+    comp.connect(dc, comp.add_stage("d", lambda: Collect(distinct), 1, 0), src_port=0)
+    comp.connect(dc, comp.add_stage("c", lambda: Collect(counts), 1, 0), src_port=1)
+    comp.build()
+    return comp, inp, distinct, counts
+
+
+class TestDistinctCount:
+    def test_two_epochs(self):
+        comp, inp, distinct, counts = build_distinct_count()
+        inp.on_next(["a", "b", "a"])
+        inp.on_next(["b", "b"])
+        inp.on_completed()
+        comp.run()
+        assert [(t.epoch, r) for t, r in counts] == [
+            (0, [("a", 2), ("b", 1)]),
+            (1, [("b", 2)]),
+        ]
+        assert sorted(r for t, rs in distinct if t.epoch == 0 for r in rs) == ["a", "b"]
+        assert comp.drained()
+
+    def test_distinct_emitted_before_epoch_completes(self):
+        comp, inp, distinct, counts = build_distinct_count()
+        inp.on_next(["x"])
+        # Do not complete further epochs: the count for epoch 0 can be
+        # notified (epoch 0's input pointstamp was retired by on_next),
+        # but run only messages first to observe low-latency output.
+        comp.run()
+        assert distinct and distinct[0][1] == ["x"]
+        assert counts and counts[0][1] == [("x", 1)]
+
+    def test_empty_epoch(self):
+        comp, inp, distinct, counts = build_distinct_count()
+        inp.on_next([])
+        inp.on_next(["z"])
+        inp.on_completed()
+        comp.run()
+        assert [(t.epoch, r) for t, r in counts] == [(1, [("z", 1)])]
+
+    def test_input_after_close_rejected(self):
+        comp, inp, _, _ = build_distinct_count()
+        inp.on_completed()
+        with pytest.raises(RuntimeError):
+            inp.on_next(["a"])
+
+    def test_on_completed_idempotent(self):
+        comp, inp, _, _ = build_distinct_count()
+        inp.on_completed()
+        inp.on_completed()
+        comp.run()
+        assert comp.drained()
+
+
+class RecordingVertex(Vertex):
+    """Logs every callback; used to check notification safety."""
+
+    def __init__(self, log, name, emit=None, request=True):
+        super().__init__()
+        self.log = log
+        self.name = name
+        self.emit = emit
+        self.request = request
+        self.requested = set()
+
+    def on_recv(self, port, records, t):
+        self.log.append(("recv", self.name, t, tuple(records)))
+        if self.request and t not in self.requested:
+            self.requested.add(t)
+            self.notify_at(t)
+        if self.emit is not None:
+            out = self.emit(port, records, t)
+            for out_port, out_records in out:
+                if out_records:
+                    self.send_by(out_port, out_records, t)
+
+    def on_notify(self, t):
+        self.log.append(("notify", self.name, t, ()))
+
+
+def assert_notification_safety(log):
+    """No on_recv at t' <= t for a vertex after its on_notify(t)."""
+    notified = {}
+    for kind, name, t, _ in log:
+        if kind == "notify":
+            notified.setdefault(name, []).append(t)
+        else:
+            for earlier in notified.get(name, ()):
+                assert not (
+                    t.depth == earlier.depth and t.less_equal(earlier)
+                ), "on_recv(%r) after on_notify(%r) at %s" % (t, earlier, name)
+
+
+class TestNotificationSafety:
+    def test_pipeline(self):
+        comp = Computation()
+        inp = comp.new_input()
+        log = []
+        a = comp.add_stage("a", lambda: RecordingVertex(
+            log, "a", emit=lambda p, r, t: [(0, [x + 1 for x in r])]), 1, 1)
+        b = comp.add_stage("b", lambda: RecordingVertex(log, "b"), 1, 0)
+        comp.connect(inp.stage, a)
+        comp.connect(a, b)
+        comp.build()
+        for epoch in range(4):
+            inp.on_next([epoch, epoch * 10])
+        inp.on_completed()
+        comp.run()
+        assert_notification_safety(log)
+        assert comp.drained()
+        # b must see exactly one notification per epoch.
+        assert sum(1 for k, n, _, _ in log if k == "notify" and n == "b") == 4
+
+    def test_loop_iterations_notified_in_order(self):
+        comp = Computation()
+        inp = comp.new_input()
+        log = []
+        loop = comp.new_loop_context()
+        ing = comp.add_ingress(loop)
+        body = comp.graph.new_stage(
+            "body",
+            lambda s, w: RecordingVertex(
+                log, "body",
+                emit=lambda p, r, t: [(0, [x - 1 for x in r if x > 0])],
+            ),
+            2, 1, context=loop,
+        )
+        fb = comp.add_feedback(loop)
+        comp.connect(inp.stage, ing)
+        comp.connect(ing, body, dst_port=0)
+        comp.connect(body, fb)
+        comp.connect(fb, body, dst_port=1)
+        comp.build()
+        inp.on_next([3])
+        inp.on_completed()
+        comp.run()
+        assert_notification_safety(log)
+        body_notifies = [t for k, n, t, _ in log if k == "notify" and n == "body"]
+        # One per non-empty iteration, in increasing iteration order.
+        iters = [t.counters[0] for t in body_notifies]
+        assert iters == sorted(iters)
+        assert len(iters) >= 3
+        assert comp.drained()
+
+    def test_interleaved_epochs_still_safe(self):
+        comp = Computation()
+        inp = comp.new_input()
+        log = []
+        a = comp.add_stage("a", lambda: RecordingVertex(log, "a"), 1, 0)
+        comp.connect(inp.stage, a)
+        comp.build()
+        inp.on_next([1])
+        inp.on_next([2])
+        comp.run()
+        inp.on_next([3])
+        inp.on_completed()
+        comp.run()
+        assert_notification_safety(log)
+        assert comp.drained()
+
+
+class TestCausalityEnforcement:
+    class BadVertex(Vertex):
+        def __init__(self, mode):
+            super().__init__()
+            self.mode = mode
+
+        def on_recv(self, port, records, t):
+            if self.mode == "send":
+                self.send_by(0, records, Timestamp(max(0, t.epoch - 1)))
+            else:
+                self.notify_at(Timestamp(max(0, t.epoch - 1)))
+
+    @pytest.mark.parametrize("mode", ["send", "notify"])
+    def test_backwards_in_time_rejected(self, mode):
+        comp = Computation()
+        inp = comp.new_input()
+        bad = comp.add_stage("bad", lambda: TestCausalityEnforcement.BadVertex(mode), 1, 1)
+        comp.connect(inp.stage, bad)
+        comp.build()
+        inp.on_next(["x"])
+        inp.on_next(["y"])
+        with pytest.raises(TimestampViolation):
+            comp.run()
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_preserves_results(self):
+        comp, inp, distinct, counts = build_distinct_count()
+        inp.on_next(["a", "b"])
+        comp.run()
+        snapshot = comp.checkpoint()
+        baseline_counts = list(counts)
+
+        # Diverge: feed another epoch and drain.
+        inp.on_next(["c"])
+        inp.on_completed()
+        comp.run()
+        assert len(counts) > len(baseline_counts)
+
+        # Restore and replay the same input: results must match.
+        del counts[len(baseline_counts):]
+        comp.restore(snapshot)
+        inp.on_next(["c"])
+        inp.on_completed()
+        comp.run()
+        assert [(t.epoch, r) for t, r in counts] == [
+            (0, [("a", 1), ("b", 1)]),
+            (1, [("c", 1)]),
+        ]
+        assert comp.drained()
+
+    def test_checkpoint_flushes_messages(self):
+        comp, inp, distinct, counts = build_distinct_count()
+        inp.on_next(["a"])
+        # No run(): messages are still queued.
+        comp.checkpoint()
+        # Flushing delivered the messages (but not notifications).
+        assert distinct and distinct[0][1] == ["a"]
+
+    def test_vertex_default_checkpoint_roundtrip(self):
+        v = DistinctCount()
+        v.counts = {ts(0): {"a": 2}}
+        state = v.checkpoint()
+        v.counts = {}
+        v.restore(state)
+        assert v.counts == {ts(0): {"a": 2}}
+
+
+class TestSchedulerBasics:
+    def test_step_before_build_raises(self):
+        comp = Computation()
+        comp.new_input()
+        with pytest.raises(RuntimeError):
+            comp.step()
+
+    def test_run_returns_step_count(self):
+        comp, inp, _, _ = build_distinct_count()
+        inp.on_next(["a"])
+        steps = comp.run()
+        assert steps == comp.delivered_messages + comp.delivered_notifications
+
+    def test_max_steps(self):
+        comp, inp, _, _ = build_distinct_count()
+        inp.on_next(["a", "b", "c"])
+        assert comp.run(max_steps=1) == 1
+
+    def test_frontier_exposed(self):
+        comp, inp, _, _ = build_distinct_count()
+        assert comp.frontier()  # input pointstamp at epoch 0
+        inp.on_completed()
+        comp.run()
+        assert comp.frontier() == []
+
+    def test_messages_delivered_before_notifications(self):
+        comp, inp, distinct, counts = build_distinct_count()
+        inp.on_next(["a"])
+        inp.on_completed()
+        order = []
+        while comp.step():
+            order.append((comp.delivered_messages, comp.delivered_notifications))
+        # The first steps are all message deliveries.
+        first_notify = next(i for i, (m, n) in enumerate(order) if n > 0)
+        assert all(n == 0 for m, n in order[:first_notify])

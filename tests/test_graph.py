@@ -1,0 +1,168 @@
+"""Unit tests for repro.core.graph: structure, validation, summaries."""
+
+import pytest
+
+from repro.core import (
+    DataflowGraph,
+    GraphValidationError,
+    PathSummary,
+    StageKind,
+)
+from repro.core.vertex import ForwardingVertex, Vertex
+
+
+def fwd(stage, worker):
+    return ForwardingVertex()
+
+
+class TestConstruction:
+    def test_stage_and_connector(self):
+        g = DataflowGraph()
+        a = g.new_stage("a", fwd, 0, 1)
+        b = g.new_stage("b", fwd, 1, 0)
+        c = g.connect(a, 0, b, 0)
+        assert a.outputs[0] == [c]
+        assert b.inputs[0] is c
+        assert c.depth == 0
+
+    def test_fan_out_allowed(self):
+        g = DataflowGraph()
+        a = g.new_stage("a", fwd, 0, 1)
+        b = g.new_stage("b", fwd, 1, 0)
+        c = g.new_stage("c", fwd, 1, 0)
+        g.connect(a, 0, b, 0)
+        g.connect(a, 0, c, 0)
+        assert len(a.outputs[0]) == 2
+
+    def test_double_connect_input_rejected(self):
+        g = DataflowGraph()
+        a = g.new_stage("a", fwd, 0, 1)
+        b = g.new_stage("b", fwd, 1, 0)
+        g.connect(a, 0, b, 0)
+        with pytest.raises(GraphValidationError):
+            g.connect(a, 0, b, 0)
+
+    def test_bad_ports_rejected(self):
+        g = DataflowGraph()
+        a = g.new_stage("a", fwd, 0, 1)
+        b = g.new_stage("b", fwd, 1, 0)
+        with pytest.raises(GraphValidationError):
+            g.connect(a, 1, b, 0)
+        with pytest.raises(GraphValidationError):
+            g.connect(a, 0, b, 5)
+
+    def test_system_stage_requires_context(self):
+        g = DataflowGraph()
+        with pytest.raises(GraphValidationError):
+            g.new_stage("i", fwd, 1, 1, StageKind.INGRESS)
+
+    def test_input_stage_must_be_top_level(self):
+        g = DataflowGraph()
+        loop = g.new_loop_context()
+        with pytest.raises(GraphValidationError):
+            g.new_stage("in", None, 0, 1, StageKind.INPUT, loop)
+
+    def test_frozen_graph_rejects_mutation(self):
+        g = DataflowGraph()
+        g.new_stage("a", fwd, 0, 1)  # unconnected output is fine
+        g.freeze()
+        with pytest.raises(GraphValidationError):
+            g.new_stage("b", fwd, 0, 1)
+
+    def test_freeze_idempotent(self):
+        g = DataflowGraph()
+        g.new_stage("a", fwd, 0, 0)
+        g.freeze()
+        g.freeze()
+        assert g.frozen
+
+
+class TestContexts:
+    def build_loop(self):
+        g = DataflowGraph()
+        loop = g.new_loop_context()
+        src = g.new_stage("src", fwd, 0, 1)
+        ing = g.new_stage("ing", fwd, 1, 1, StageKind.INGRESS, loop)
+        body = g.new_stage("body", fwd, 2, 2, StageKind.NORMAL, loop)
+        fb = g.new_stage("fb", fwd, 1, 1, StageKind.FEEDBACK, loop)
+        eg = g.new_stage("eg", fwd, 1, 1, StageKind.EGRESS, loop)
+        out = g.new_stage("out", fwd, 1, 0)
+        g.connect(src, 0, ing, 0)
+        g.connect(ing, 0, body, 0)
+        g.connect(body, 0, fb, 0)
+        g.connect(fb, 0, body, 1)
+        g.connect(body, 1, eg, 0)
+        g.connect(eg, 0, out, 0)
+        return g, dict(src=src, ing=ing, body=body, fb=fb, eg=eg, out=out, loop=loop)
+
+    def test_depths(self):
+        g, s = self.build_loop()
+        assert s["src"].input_depth == 0 and s["src"].output_depth == 0
+        assert s["ing"].input_depth == 0 and s["ing"].output_depth == 1
+        assert s["body"].input_depth == 1 and s["body"].output_depth == 1
+        assert s["eg"].input_depth == 1 and s["eg"].output_depth == 0
+        assert s["fb"].input_depth == 1 and s["fb"].output_depth == 1
+
+    def test_nested_context_depth(self):
+        g = DataflowGraph()
+        outer = g.new_loop_context()
+        inner = g.new_loop_context(parent=outer)
+        assert outer.depth == 1
+        assert inner.depth == 2
+
+    def test_context_crossing_rejected(self):
+        g = DataflowGraph()
+        loop = g.new_loop_context()
+        src = g.new_stage("src", fwd, 0, 1)
+        body = g.new_stage("body", fwd, 1, 1, StageKind.NORMAL, loop)
+        with pytest.raises(GraphValidationError):
+            g.connect(src, 0, body, 0)
+
+    def test_cycle_without_feedback_rejected(self):
+        g = DataflowGraph()
+        loop = g.new_loop_context()
+        a = g.new_stage("a", fwd, 1, 1, StageKind.NORMAL, loop)
+        b = g.new_stage("b", fwd, 1, 1, StageKind.NORMAL, loop)
+        g.connect(a, 0, b, 0)
+        g.connect(b, 0, a, 0)
+        with pytest.raises(GraphValidationError):
+            g.freeze()
+
+    def test_unconnected_input_rejected(self):
+        g = DataflowGraph()
+        g.new_stage("b", fwd, 1, 0)
+        with pytest.raises(GraphValidationError):
+            g.freeze()
+
+    def test_summaries_for_loop(self):
+        g, s = self.build_loop()
+        g.freeze()
+        table = g.summaries
+        # Around the cycle: body reaches itself minimally via identity.
+        assert list(table[(s["body"], s["body"])]) == [PathSummary.identity(1)]
+        # src reaches out with identity at depth 0.
+        assert list(table[(s["src"], s["out"])]) == [PathSummary.identity(0)]
+        # fb -> body summary includes the increment.
+        fb_to_body = table[(s["fb"], s["body"])]
+        assert list(fb_to_body) == [PathSummary.feedback(1)]
+        # No path from out back to src.
+        assert (s["out"], s["src"]) not in table
+
+    def test_timestamp_actions(self):
+        g, s = self.build_loop()
+        assert s["ing"].timestamp_action() == PathSummary.ingress(0)
+        assert s["eg"].timestamp_action() == PathSummary.egress(1)
+        assert s["fb"].timestamp_action() == PathSummary.feedback(1)
+        assert s["body"].timestamp_action() == PathSummary.identity(1)
+
+    def test_summaries_require_freeze(self):
+        g = DataflowGraph()
+        with pytest.raises(GraphValidationError):
+            g.summaries
+
+    def test_input_stages_listed(self):
+        g = DataflowGraph()
+        inp = g.new_stage("in", None, 0, 1, StageKind.INPUT)
+        sink = g.new_stage("sink", fwd, 1, 0)
+        g.connect(inp, 0, sink, 0)
+        assert g.input_stages() == [inp]

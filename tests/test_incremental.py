@@ -1,0 +1,331 @@
+"""Tests for incremental collections against batch oracles.
+
+The core property (DESIGN.md invariant 6): accumulating an incremental
+operator's output diffs over all epochs equals recomputing the operator
+on the accumulated input.
+"""
+
+from collections import Counter
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Computation
+from repro.lib import Collection, Stream, consolidate_diffs
+from repro.runtime import ClusterComputation
+
+
+def run_collection(build, diff_epochs, cluster=False):
+    comp = (
+        ClusterComputation(num_processes=2, workers_per_process=2)
+        if cluster
+        else Computation()
+    )
+    inp = comp.new_input()
+    live = {}
+    build(Collection(Stream.from_input(inp))).accumulate_into(live)
+    comp.build()
+    for diffs in diff_epochs:
+        inp.on_next(diffs)
+    inp.on_completed()
+    comp.run()
+    assert comp.drained()
+    return live
+
+
+def accumulate_input(diff_epochs):
+    acc = Counter()
+    for diffs in diff_epochs:
+        for record, multiplicity in diffs:
+            acc[record] += multiplicity
+    return +acc
+
+
+# Epochs of diffs over a small record space; deletions only retract
+# records that exist (multiplicities stay non-negative) for operators
+# with set semantics.
+records = st.integers(min_value=0, max_value=6)
+
+
+@st.composite
+def diff_epoch_lists(draw):
+    epochs = []
+    counts = Counter()
+    for _ in range(draw(st.integers(1, 4))):
+        diffs = []
+        for _ in range(draw(st.integers(0, 6))):
+            record = draw(records)
+            if counts[record] > 0 and draw(st.booleans()):
+                diffs.append((record, -1))
+                counts[record] -= 1
+            else:
+                diffs.append((record, +1))
+                counts[record] += 1
+        epochs.append(diffs)
+    return epochs
+
+
+class TestConsolidate:
+    def test_cancellation(self):
+        assert consolidate_diffs([(1, +1), (1, -1), (2, +1)]) == [(2, 1)]
+
+    def test_sums(self):
+        assert dict(consolidate_diffs([(1, 1), (1, 1)])) == {1: 2}
+
+
+class TestIncrementalDistinct:
+    @given(diff_epoch_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_batch_distinct(self, epochs):
+        live = run_collection(lambda c: c.distinct(), epochs)
+        expected = {record: 1 for record in accumulate_input(epochs)}
+        assert live == expected
+
+    def test_retraction_emits_negative(self):
+        live = run_collection(
+            lambda c: c.distinct(), [[(5, 1)], [(5, -1)]]
+        )
+        assert live == {}
+
+    def test_duplicates_suppressed(self):
+        live = run_collection(lambda c: c.distinct(), [[(5, 1), (5, 1)]])
+        assert live == {5: 1}
+
+
+class TestIncrementalCount:
+    @given(diff_epoch_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_batch_count(self, epochs):
+        live = run_collection(lambda c: c.count_by(lambda r: r % 2), epochs)
+        acc = accumulate_input(epochs)
+        expected = Counter()
+        for record, m in acc.items():
+            expected[record % 2] += m
+        assert live == {(k, v): 1 for k, v in expected.items() if v > 0}
+
+    def test_cluster_matches_reference(self):
+        epochs = [[(1, 1), (2, 1)], [(1, 1), (2, -1)], [(3, 1)]]
+        ref = run_collection(lambda c: c.count_by(lambda r: r), epochs)
+        clu = run_collection(lambda c: c.count_by(lambda r: r), epochs, cluster=True)
+        assert ref == clu
+
+
+class TestIncrementalReduce:
+    def test_group_sum_maintained(self):
+        build = lambda c: c.reduce_by(
+            lambda r: r[0], lambda k, vs: [(k, sum(v for _, v in vs))]
+        )
+        live = run_collection(
+            build,
+            [
+                [(("a", 1), 1), (("a", 2), 1)],
+                [(("a", 1), -1), (("b", 5), 1)],
+            ],
+        )
+        assert live == {("a", 2): 1, ("b", 5): 1}
+
+    def test_group_vanishes_on_empty(self):
+        build = lambda c: c.reduce_by(lambda r: r[0], lambda k, vs: [(k, len(vs))])
+        live = run_collection(build, [[(("a", 1), 1)], [(("a", 1), -1)]])
+        assert live == {}
+
+
+class TestIncrementalJoin:
+    @given(diff_epoch_lists(), diff_epoch_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_matches_batch_join(self, left_epochs, right_epochs):
+        n = max(len(left_epochs), len(right_epochs))
+        left_epochs += [[]] * (n - len(left_epochs))
+        right_epochs += [[]] * (n - len(right_epochs))
+
+        comp = Computation()
+        a, b = comp.new_input(), comp.new_input()
+        live = {}
+        ca, cb = Collection(Stream.from_input(a)), Collection(Stream.from_input(b))
+        ca.join(
+            cb, lambda x: x % 3, lambda y: y % 3, lambda x, y: (x, y)
+        ).accumulate_into(live)
+        comp.build()
+        for l, r in zip(left_epochs, right_epochs):
+            a.on_next(l)
+            b.on_next(r)
+        a.on_completed()
+        b.on_completed()
+        comp.run()
+
+        left_acc = accumulate_input(left_epochs)
+        right_acc = accumulate_input(right_epochs)
+        expected = Counter()
+        for x, mx in left_acc.items():
+            for y, my in right_acc.items():
+                if x % 3 == y % 3:
+                    expected[(x, y)] += mx * my
+        assert live == +expected
+
+
+class TestLinearOperators:
+    def test_map_carries_diffs(self):
+        live = run_collection(
+            lambda c: c.map(lambda r: r * 10), [[(1, 1), (2, -1)], [(2, 1)]]
+        )
+        assert live == {10: 1}
+
+    def test_filter(self):
+        live = run_collection(
+            lambda c: c.filter(lambda r: r % 2 == 0), [[(1, 1), (2, 1)]]
+        )
+        assert live == {2: 1}
+
+    def test_flat_map(self):
+        live = run_collection(
+            lambda c: c.flat_map(lambda r: [r, r + 100]), [[(1, 1)]]
+        )
+        assert live == {1: 1, 101: 1}
+
+    def test_concat_and_negate(self):
+        comp = Computation()
+        a, b = comp.new_input(), comp.new_input()
+        live = {}
+        ca, cb = Collection(Stream.from_input(a)), Collection(Stream.from_input(b))
+        ca.concat(cb.negate()).accumulate_into(live)
+        comp.build()
+        a.on_next([(1, 1), (2, 1)])
+        b.on_next([(2, 1)])
+        a.on_completed()
+        b.on_completed()
+        comp.run()
+        assert live == {1: 1}
+
+
+class TestUnionFind:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx_components(self, edges, num_epochs):
+        chunks = [edges[i::num_epochs] for i in range(num_epochs)]
+        live = run_collection(
+            lambda c: c.connected_components(),
+            [[(e, 1) for e in chunk] for chunk in chunks],
+        )
+        g = nx.Graph(edges)
+        expected = {}
+        for component in nx.connected_components(g):
+            label = min(component)
+            for node in component:
+                expected[(node, label)] = 1
+        assert live == expected
+
+    def test_deletion_rejected(self):
+        with pytest.raises(ValueError):
+            run_collection(
+                lambda c: c.connected_components(), [[((1, 2), -1)]]
+            )
+
+    def test_windowed_cc_matches_networkx_with_deletions(self):
+        # Sliding window: edges enter and leave; the live labels must
+        # always equal a batch recomputation over the surviving edges.
+        window = [
+            [((1, 2), 1), ((3, 4), 1)],
+            [((2, 3), 1)],           # merge everything
+            [((2, 3), -1)],          # split again
+            [((1, 2), -1), ((5, 1), 1)],
+        ]
+        comp = Computation()
+        inp = comp.new_input()
+        live = {}
+        Collection(Stream.from_input(inp)).connected_components(
+            allow_deletions=True
+        ).accumulate_into(live)
+        comp.build()
+        edges = Counter()
+        for diffs in window:
+            inp.on_next(diffs)
+            comp.run()
+            for edge, m in diffs:
+                edges[edge] += m
+            g = nx.Graph(list(+edges))
+            expected = {}
+            for component in nx.connected_components(g):
+                label = min(component)
+                for node in component:
+                    expected[(node, label)] = 1
+            assert live == expected, (diffs, live, expected)
+        inp.on_completed()
+        comp.run()
+        assert comp.drained()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=1, max_size=16
+        ),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_windowed_cc_random_add_remove(self, edge_pool, seed):
+        import random
+
+        rng = random.Random(seed)
+        comp = Computation()
+        inp = comp.new_input()
+        live = {}
+        Collection(Stream.from_input(inp)).connected_components(
+            allow_deletions=True
+        ).accumulate_into(live)
+        comp.build()
+        present = Counter()
+        for _ in range(4):
+            diffs = []
+            for edge in edge_pool:
+                if present[edge] and rng.random() < 0.4:
+                    diffs.append((edge, -1))
+                    present[edge] -= 1
+                elif rng.random() < 0.5:
+                    diffs.append((edge, 1))
+                    present[edge] += 1
+            inp.on_next(diffs)
+        inp.on_completed()
+        comp.run()
+        assert comp.drained()
+        g = nx.Graph(list(+present))
+        expected = {}
+        for component in nx.connected_components(g):
+            label = min(component)
+            for node in component:
+                expected[(node, label)] = 1
+        assert live == expected
+
+    def test_windowed_cc_over_retraction_raises(self):
+        with pytest.raises(ValueError):
+            run_collection(
+                lambda c: c.connected_components(allow_deletions=True),
+                [[((1, 2), -1)]],
+            )
+
+    def test_incremental_merging_emits_relabels(self):
+        comp = Computation()
+        inp = comp.new_input()
+        per_epoch = {}
+        Collection(Stream.from_input(inp)).connected_components().subscribe(
+            lambda t, diffs: per_epoch.setdefault(t.epoch, []).extend(diffs)
+        )
+        comp.build()
+        inp.on_next([((5, 6), 1)])
+        inp.on_next([((1, 5), 1)])
+        inp.on_completed()
+        comp.run()
+        assert sorted(per_epoch[0]) == [((5, 5), 1), ((6, 5), 1)]
+        # Epoch 1: node 1 appears, and 5/6 relabel from 5 to 1.
+        assert dict(per_epoch[1]) == {
+            (1, 1): 1,
+            (5, 5): -1,
+            (5, 1): 1,
+            (6, 5): -1,
+            (6, 1): 1,
+        }

@@ -1,0 +1,230 @@
+"""Unit and property tests for repro.core.pathsummary.
+
+The key property test checks the decision procedure for the summary
+partial order against a brute-force evaluation over a grid of probe
+timestamps: whenever ``s1.less_equal(s2)`` the pointwise relation must
+hold everywhere, and whenever it fails there must be a witness timestamp.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PathSummary, Antichain, Timestamp, minimal_summaries
+
+
+def ts(epoch, *counters):
+    return Timestamp(epoch, tuple(counters))
+
+
+SOURCE_DEPTH = 3
+
+
+def summaries_between(source_depth, target_depth):
+    """Strategy for summaries from source_depth to target_depth."""
+
+    def build(keep, delta, append_bits):
+        if keep == 0:
+            delta = 0
+        append = tuple(append_bits[: target_depth - keep])
+        return PathSummary(keep, delta, append)
+
+    return st.builds(
+        build,
+        st.integers(min_value=0, max_value=min(source_depth, target_depth)),
+        st.integers(min_value=0, max_value=3),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=target_depth, max_size=target_depth),
+    )
+
+
+def summaries_at(target_depth):
+    """Strategy for summaries from SOURCE_DEPTH to target_depth."""
+    return summaries_between(SOURCE_DEPTH, target_depth)
+
+
+def probe_timestamps(depth=SOURCE_DEPTH, bound=4):
+    """A grid of timestamps dense enough to witness order violations."""
+    for counters in itertools.product(range(bound + 1), repeat=depth):
+        yield Timestamp(0, counters)
+
+
+class TestConstruction:
+    def test_identity(self):
+        s = PathSummary.identity(2)
+        assert s.apply(ts(4, 1, 2)) == ts(4, 1, 2)
+
+    def test_ingress(self):
+        assert PathSummary.ingress(1).apply(ts(4, 7)) == ts(4, 7, 0)
+
+    def test_egress(self):
+        assert PathSummary.egress(2).apply(ts(4, 7, 9)) == ts(4, 7)
+
+    def test_feedback(self):
+        assert PathSummary.feedback(2).apply(ts(4, 7, 9)) == ts(4, 7, 10)
+
+    def test_egress_at_depth_zero_raises(self):
+        with pytest.raises(ValueError):
+            PathSummary.egress(0)
+
+    def test_feedback_at_depth_zero_raises(self):
+        with pytest.raises(ValueError):
+            PathSummary.feedback(0)
+
+    def test_epoch_increment_rejected(self):
+        with pytest.raises(ValueError):
+            PathSummary(0, 1, ())
+
+    def test_apply_requires_enough_counters(self):
+        with pytest.raises(ValueError):
+            PathSummary(2, 0, ()).apply(ts(0, 1))
+
+    def test_immutable_and_hashable(self):
+        s = PathSummary(1, 2, (3,))
+        with pytest.raises(AttributeError):
+            s.keep = 0
+        assert hash(s) == hash(PathSummary(1, 2, (3,)))
+
+    def test_callable(self):
+        assert PathSummary.identity(1)(ts(2, 3)) == ts(2, 3)
+
+
+class TestComposition:
+    def test_loop_roundtrip(self):
+        # ingress ; feedback ; feedback ; egress == identity (the loop
+        # counters added and incremented are dropped on the way out).
+        path = (
+            PathSummary.ingress(1)
+            .then(PathSummary.feedback(2))
+            .then(PathSummary.feedback(2))
+            .then(PathSummary.egress(2))
+        )
+        assert path == PathSummary.identity(1)
+
+    def test_ingress_then_feedback(self):
+        path = PathSummary.ingress(0).then(PathSummary.feedback(1))
+        assert path.apply(ts(3)) == ts(3, 1)
+        assert path == PathSummary(0, 0, (1,))
+
+    def test_feedback_then_ingress(self):
+        path = PathSummary.feedback(1).then(PathSummary.ingress(1))
+        assert path.apply(ts(3, 0)) == ts(3, 1, 0)
+
+    def test_identity_left_and_right(self):
+        s = PathSummary(1, 2, (3, 0))
+        assert PathSummary.identity(SOURCE_DEPTH).then(s) == s
+        assert s.then(PathSummary.identity(s.target_depth)) == s
+
+    def test_compose_overdeep_raises(self):
+        with pytest.raises(ValueError):
+            PathSummary.egress(1).then(PathSummary.feedback(2))
+
+    @settings(max_examples=200)
+    @given(summaries_at(2), summaries_between(2, 3))
+    def test_composition_matches_sequential_application(self, s1, s2):
+        composed = s1.then(s2)
+        for t in itertools.islice(probe_timestamps(), 64):
+            assert composed.apply(t) == s2.apply(s1.apply(t))
+
+
+class TestOrderDecisionProcedure:
+    @settings(max_examples=300)
+    @given(summaries_at(3), summaries_at(3))
+    def test_less_equal_matches_pointwise(self, s1, s2):
+        decided = s1.less_equal(s2)
+        pointwise = all(
+            s1.apply(t).less_equal(s2.apply(t)) for t in probe_timestamps(bound=4)
+        )
+        assert decided == pointwise, (s1, s2, decided, pointwise)
+
+    @settings(max_examples=200)
+    @given(summaries_at(2), summaries_at(2))
+    def test_less_equal_matches_pointwise_depth2(self, s1, s2):
+        decided = s1.less_equal(s2)
+        pointwise = all(
+            s1.apply(t).less_equal(s2.apply(t)) for t in probe_timestamps(bound=4)
+        )
+        assert decided == pointwise, (s1, s2, decided, pointwise)
+
+    def test_depth_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            PathSummary.identity(1).less_equal(PathSummary.identity(2))
+
+    def test_feedback_dominated_by_identity(self):
+        assert PathSummary.identity(1).less_equal(PathSummary.feedback(1))
+        assert not PathSummary.feedback(1).less_equal(PathSummary.identity(1))
+
+    def test_strictness(self):
+        s = PathSummary.identity(1)
+        assert not s.less_than(s)
+        assert s.less_than(PathSummary.feedback(1))
+
+
+class TestAntichain:
+    def test_insert_keeps_minimal(self):
+        chain = Antichain()
+        assert chain.insert(PathSummary.feedback(1))
+        assert chain.insert(PathSummary.identity(1))
+        assert list(chain) == [PathSummary.identity(1)]
+
+    def test_insert_rejects_dominated(self):
+        chain = Antichain([PathSummary.identity(1)])
+        assert not chain.insert(PathSummary.feedback(1))
+        assert len(chain) == 1
+
+    def test_insert_rejects_duplicate(self):
+        chain = Antichain([PathSummary.identity(1)])
+        assert not chain.insert(PathSummary.identity(1))
+
+    def test_incomparable_coexist(self):
+        # identity vs constant-1: t -> t vs t -> 1, incomparable.
+        a = PathSummary(1, 0, ())
+        b = PathSummary(0, 0, (1,))
+        chain = Antichain([a, b])
+        assert len(chain) == 2
+
+    def test_dominates(self):
+        chain = Antichain([PathSummary.feedback(1)])
+        assert chain.dominates(ts(0, 0), ts(0, 1))
+        assert not chain.dominates(ts(0, 0), ts(0, 0))
+
+    def test_bool_and_eq(self):
+        assert not Antichain()
+        assert Antichain([PathSummary.identity(1)]) == Antichain([PathSummary.identity(1)])
+
+
+class TestMinimalSummaries:
+    def test_straight_line(self):
+        # a -> b -> c at depth 0.
+        links = [
+            ("a", "b", PathSummary.identity(0)),
+            ("b", "c", PathSummary.identity(0)),
+        ]
+        table = minimal_summaries(["a", "b", "c"], links, {"a": 0, "b": 0, "c": 0})
+        assert table[("a", "c")] == Antichain([PathSummary.identity(0)])
+        assert ("c", "a") not in table
+        assert table[("a", "a")] == Antichain([PathSummary.identity(0)])
+
+    def test_loop_converges_to_minimal(self):
+        # in -> ingress -> body -> feedback -> body (cycle), body -> egress -> out
+        depth = {"in": 0, "ing": 0, "body": 1, "fb": 1, "eg": 1, "out": 0}
+        links = [
+            ("in", "ing", PathSummary.identity(0)),
+            ("ing", "body", PathSummary.ingress(0)),
+            ("body", "fb", PathSummary.identity(1)),
+            ("fb", "body", PathSummary.feedback(1)),
+            ("body", "eg", PathSummary.identity(1)),
+            ("eg", "out", PathSummary.egress(1)),
+        ]
+        nodes = list(depth)
+        table = minimal_summaries(nodes, links, depth)
+        # Body reaches itself around the cycle with exactly one increment.
+        assert table[("body", "body")] == Antichain(
+            [PathSummary.identity(1), PathSummary.feedback(1)]
+        ) or list(table[("body", "body")]) == [PathSummary.identity(1)]
+        # The identity dominates feedback, so only identity remains.
+        assert list(table[("body", "body")]) == [PathSummary.identity(1)]
+        # From outside, entering costs a pushed zero counter.
+        assert list(table[("in", "body")]) == [PathSummary(0, 0, (0,))]
+        # Through the whole loop and out: identity at depth 0.
+        assert list(table[("in", "out")]) == [PathSummary.identity(0)]

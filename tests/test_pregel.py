@@ -1,0 +1,195 @@
+"""Tests for the Pregel library (section 4.2)."""
+
+import pytest
+
+from repro import Computation
+from repro.lib import Stream, final_states, pregel
+from repro.runtime import ClusterComputation
+
+
+def run_pregel(graph, compute, max_supersteps, cluster=False, **kwargs):
+    comp = (
+        ClusterComputation(num_processes=2, workers_per_process=2)
+        if cluster
+        else Computation()
+    )
+    inp = comp.new_input()
+    out = []
+    states = pregel(Stream.from_input(inp), compute, max_supersteps, **kwargs)
+    final_states(states).subscribe(lambda t, recs: out.extend(recs))
+    comp.build()
+    inp.on_next(graph)
+    inp.on_completed()
+    comp.run()
+    assert comp.drained()
+    return out
+
+
+def cc_compute(ctx):
+    best = min(ctx.messages) if ctx.messages else ctx.state
+    if ctx.superstep == 0 or best < ctx.state:
+        ctx.set_state(min(best, ctx.state))
+        ctx.send_to_neighbors(ctx.state)
+    ctx.vote_to_halt()
+
+
+def undirected(edges, nodes):
+    adj = {n: [] for n in nodes}
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    return [(n, n, nbrs) for n, nbrs in adj.items()]
+
+
+class TestConnectedComponents:
+    @pytest.mark.parametrize("cluster", [False, True])
+    def test_two_components(self, cluster):
+        graph = undirected([(0, 1), (1, 2), (3, 4)], range(5))
+        out = run_pregel(graph, cc_compute, 50, cluster=cluster)
+        assert sorted(out) == [(0, 0), (1, 0), (2, 0), (3, 3), (4, 3)]
+
+    def test_chain_converges(self):
+        n = 12
+        graph = undirected([(i, i + 1) for i in range(n - 1)], range(n))
+        out = run_pregel(graph, cc_compute, 50)
+        assert sorted(out) == [(i, 0) for i in range(n)]
+
+    def test_multiple_epochs_independent(self):
+        comp = Computation()
+        inp = comp.new_input()
+        per_epoch = {}
+        states = pregel(Stream.from_input(inp), cc_compute, 50)
+        final_states(states).subscribe(
+            lambda t, recs: per_epoch.setdefault(t.epoch, []).extend(recs)
+        )
+        comp.build()
+        inp.on_next(undirected([(0, 1)], range(2)))
+        inp.on_next(undirected([], range(2)))
+        inp.on_completed()
+        comp.run()
+        assert sorted(per_epoch[0]) == [(0, 0), (1, 0)]
+        assert sorted(per_epoch[1]) == [(0, 0), (1, 1)]
+
+
+class TestSupersteps:
+    def test_max_supersteps_bounds_execution(self):
+        seen = []
+
+        def compute(ctx):
+            seen.append(ctx.superstep)
+            ctx.send(ctx.node, 1)  # never halts voluntarily
+
+        run_pregel([(0, None, [])], compute, 5)
+        assert max(seen) == 4
+        assert sorted(set(seen)) == [0, 1, 2, 3, 4]
+
+    def test_halted_node_reactivated_by_message(self):
+        trace = []
+
+        def compute(ctx):
+            trace.append((ctx.node, ctx.superstep))
+            if ctx.node == 0 and ctx.superstep == 0:
+                ctx.send(1, "wake")
+            ctx.vote_to_halt()
+
+        run_pregel([(0, None, []), (1, None, [])], compute, 10)
+        # Node 1 runs at superstep 0 (initially active) and again at 1.
+        assert (1, 0) in trace and (1, 1) in trace
+        # Node 0 runs only once.
+        assert [t for t in trace if t[0] == 0] == [(0, 0)]
+
+
+class TestCombiner:
+    def test_combiner_reduces_messages(self):
+        sums = {}
+
+        def compute(ctx):
+            if ctx.superstep == 0 and ctx.node != 99:
+                ctx.send(99, ctx.node)
+            elif ctx.node == 99 and ctx.messages:
+                sums[ctx.superstep] = list(ctx.messages)
+            ctx.vote_to_halt()
+
+        graph = [(n, None, []) for n in range(4)] + [(99, None, [])]
+        run_pregel(graph, compute, 10, combine=lambda a, b: a + b)
+        # All four messages combined into one.
+        assert sums == {1: [0 + 1 + 2 + 3]}
+
+
+class TestAggregator:
+    def test_aggregate_visible_next_superstep(self):
+        observed = {}
+
+        def compute(ctx):
+            ctx.contribute(1)
+            if ctx.superstep > 0:
+                observed.setdefault(ctx.superstep, ctx.aggregate)
+            if ctx.superstep < 2:
+                ctx.send(ctx.node, 0)
+            else:
+                ctx.vote_to_halt()
+
+        run_pregel(
+            [(n, None, []) for n in range(3)],
+            compute,
+            10,
+            aggregator=lambda a, b: a + b,
+        )
+        assert observed[1] == 3
+        assert observed[2] == 3
+
+
+class TestGraphMutation:
+    def test_added_edge_used_next_superstep(self):
+        reached = []
+
+        def compute(ctx):
+            if ctx.superstep == 0 and ctx.node == 0:
+                ctx.add_edge(1)
+                ctx.send(ctx.node, 0)  # keep self alive
+            elif ctx.superstep == 1 and ctx.node == 0:
+                ctx.send_to_neighbors("hello")
+            if ctx.messages and ctx.node == 1:
+                reached.append(ctx.messages[0])
+            ctx.vote_to_halt()
+
+        run_pregel([(0, None, []), (1, None, [])], compute, 10)
+        assert reached == ["hello"]
+
+    def test_removed_edge_not_used(self):
+        deliveries = []
+
+        def compute(ctx):
+            if ctx.superstep == 0 and ctx.node == 0:
+                ctx.remove_edge(1)
+                ctx.send_to_neighbors("x")
+            if ctx.node == 1 and ctx.messages:
+                deliveries.extend(ctx.messages)
+            ctx.vote_to_halt()
+
+        run_pregel([(0, None, [1]), (1, None, [])], compute, 10)
+        assert deliveries == []
+
+
+class TestPageRankOnPregel:
+    def test_ranks_sum_to_node_count(self):
+        # The classic Pregel PageRank program (damping 0.85).
+        def compute(ctx):
+            if ctx.superstep == 0:
+                ctx.set_state(1.0)
+            else:
+                ctx.set_state(0.15 + 0.85 * sum(ctx.messages))
+            if ctx.edges:
+                share = ctx.state / len(ctx.edges)
+                ctx.send_to_neighbors(share)
+
+        graph = [
+            (0, 0.0, [1, 2]),
+            (1, 0.0, [2]),
+            (2, 0.0, [0]),
+        ]
+        out = run_pregel(graph, compute, 30, combine=lambda a, b: a + b)
+        ranks = dict(out)
+        assert sum(ranks.values()) == pytest.approx(3.0, rel=0.05)
+        # Node 2 has the most in-links and the highest rank.
+        assert ranks[2] > ranks[0] > ranks[1]

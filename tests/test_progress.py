@@ -1,0 +1,161 @@
+"""Unit tests for repro.core.progress: occurrence/precursor counting."""
+
+import pytest
+
+from repro.core import (
+    Antichain,
+    PathSummary,
+    Pointstamp,
+    ProgressState,
+    Timestamp,
+)
+
+
+def ts(epoch, *counters):
+    return Timestamp(epoch, tuple(counters))
+
+
+def chain_summaries():
+    """A three-location pipeline a -> b -> c at depth 0."""
+    ident = Antichain([PathSummary.identity(0)])
+    table = {}
+    for pair in [("a", "b"), ("b", "c"), ("a", "c"), ("a", "a"), ("b", "b"), ("c", "c")]:
+        table[pair] = ident
+    return table
+
+
+class TestOccurrenceCounting:
+    def test_activation_and_deactivation(self):
+        state = ProgressState(chain_summaries())
+        p = Pointstamp(ts(0), "a")
+        state.update(p, +1)
+        assert state.is_active(p)
+        state.update(p, -1)
+        assert not state.is_active(p)
+        assert len(state) == 0
+
+    def test_counts_accumulate(self):
+        state = ProgressState(chain_summaries())
+        p = Pointstamp(ts(0), "a")
+        state.update(p, +2)
+        state.update(p, -1)
+        assert state.is_active(p)
+        state.update(p, -1)
+        assert not state.is_active(p)
+
+    def test_zero_delta_ignored(self):
+        state = ProgressState(chain_summaries())
+        state.update(Pointstamp(ts(0), "a"), 0)
+        assert len(state) == 0
+
+    def test_negative_transient_blocks(self):
+        # Distributed runs can apply a -1 before the matching +1 arrives;
+        # the pointstamp must still be treated as active (blocking).
+        state = ProgressState(chain_summaries())
+        p = Pointstamp(ts(0), "a")
+        state.update(p, -1)
+        assert state.is_active(p)
+        state.update(p, +1)
+        assert not state.is_active(p)
+
+    def test_update_many(self):
+        state = ProgressState(chain_summaries())
+        state.update_many([(Pointstamp(ts(0), "a"), 1), (Pointstamp(ts(1), "b"), 1)])
+        assert len(state) == 2
+
+
+class TestFrontier:
+    def test_upstream_blocks_downstream(self):
+        state = ProgressState(chain_summaries())
+        pa = Pointstamp(ts(0), "a")
+        pc = Pointstamp(ts(0), "c")
+        state.update(pa, +1)
+        state.update(pc, +1)
+        assert state.in_frontier(pa)
+        assert not state.in_frontier(pc)
+        state.update(pa, -1)
+        assert state.in_frontier(pc)
+
+    def test_later_time_blocked_same_location(self):
+        state = ProgressState(chain_summaries())
+        p0 = Pointstamp(ts(0), "b")
+        p1 = Pointstamp(ts(1), "b")
+        state.update(p0, +1)
+        state.update(p1, +1)
+        assert state.in_frontier(p0)
+        assert not state.in_frontier(p1)
+
+    def test_earlier_time_not_blocked_by_later(self):
+        state = ProgressState(chain_summaries())
+        p0 = Pointstamp(ts(0), "c")
+        p1 = Pointstamp(ts(1), "a")
+        state.update(p0, +1)
+        state.update(p1, +1)
+        # (1, a) could-result-in nothing at epoch 0, so (0, c) is free.
+        assert state.in_frontier(p0)
+        assert state.in_frontier(p1)
+
+    def test_unrelated_locations_independent(self):
+        # No (c, a) entry: c cannot reach a.
+        state = ProgressState(chain_summaries())
+        pc = Pointstamp(ts(0), "c")
+        pa = Pointstamp(ts(5), "a")
+        state.update(pc, +1)
+        state.update(pa, +1)
+        assert state.in_frontier(pc)
+        assert state.in_frontier(pa)
+
+    def test_frontier_listing(self):
+        state = ProgressState(chain_summaries())
+        state.update(Pointstamp(ts(0), "a"), +1)
+        state.update(Pointstamp(ts(0), "b"), +1)
+        assert state.frontier() == [Pointstamp(ts(0), "a")]
+        assert set(state.active_pointstamps()) == {
+            Pointstamp(ts(0), "a"),
+            Pointstamp(ts(0), "b"),
+        }
+
+    def test_inactive_pointstamp_not_in_frontier(self):
+        state = ProgressState(chain_summaries())
+        assert not state.in_frontier(Pointstamp(ts(0), "a"))
+
+
+class TestLoopFrontier:
+    def loop_summaries(self):
+        """body -> body around a feedback cycle at depth 1."""
+        return {
+            ("body", "body"): Antichain([PathSummary.identity(1)]),
+        }
+
+    def test_iteration_order(self):
+        state = ProgressState(self.loop_summaries())
+        p0 = Pointstamp(ts(0, 0), "body")
+        p1 = Pointstamp(ts(0, 1), "body")
+        state.update(p0, +1)
+        state.update(p1, +1)
+        assert state.in_frontier(p0)
+        assert not state.in_frontier(p1)
+        state.update(p0, -1)
+        assert state.in_frontier(p1)
+
+    def test_incomparable_iterations_both_free(self):
+        state = ProgressState(self.loop_summaries())
+        # (epoch 0, iter 5) and (epoch 1, iter 0) are incomparable.
+        pa = Pointstamp(ts(0, 5), "body")
+        pb = Pointstamp(ts(1, 0), "body")
+        state.update(pa, +1)
+        state.update(pb, +1)
+        assert state.in_frontier(pa)
+        assert state.in_frontier(pb)
+
+    def test_could_result_in(self):
+        state = ProgressState(self.loop_summaries())
+        assert state.could_result_in(
+            Pointstamp(ts(0, 0), "body"), Pointstamp(ts(0, 3), "body")
+        )
+        assert not state.could_result_in(
+            Pointstamp(ts(0, 3), "body"), Pointstamp(ts(0, 0), "body")
+        )
+        assert not state.could_result_in(
+            Pointstamp(ts(0, 0), "body"), Pointstamp(ts(0, 0), "nowhere")
+        )

@@ -1,0 +1,155 @@
+"""Unit tests for the distributed progress protocol pieces."""
+
+import pytest
+
+from repro.core import Antichain, PathSummary, Pointstamp, Timestamp
+from repro.core.graph import DataflowGraph, StageKind
+from repro.core.progress import ProgressState
+from repro.runtime.protocol import (
+    PROTOCOL_MODES,
+    UPDATE_WIRE_BYTES,
+    ProgressView,
+    _may_hold_update,
+    net_updates,
+    wire_size,
+)
+
+
+def ts(epoch, *counters):
+    return Timestamp(epoch, tuple(counters))
+
+
+def simple_graph():
+    """in -> a -> b with stage/connector locations."""
+    g = DataflowGraph()
+    inp = g.new_stage("in", None, 0, 1, StageKind.INPUT)
+    a = g.new_stage("a", lambda s, w: None, 1, 1)
+    b = g.new_stage("b", lambda s, w: None, 1, 0)
+    c1 = g.connect(inp, 0, a, 0)
+    c2 = g.connect(a, 0, b, 0)
+    g.freeze()
+    return g, inp, a, b, c1, c2
+
+
+class TestNetUpdates:
+    def test_cancellation(self):
+        p = Pointstamp(ts(0), "x")
+        assert net_updates([(p, +1), (p, -1)]) == []
+
+    def test_combination(self):
+        p = Pointstamp(ts(0), "x")
+        q = Pointstamp(ts(1), "x")
+        out = net_updates([(p, +1), (q, -1), (p, +1)])
+        assert (p, 2) in out and (q, -1) in out
+
+    def test_positives_before_negatives(self):
+        p = Pointstamp(ts(0), "x")
+        q = Pointstamp(ts(1), "x")
+        r = Pointstamp(ts(2), "x")
+        out = net_updates([(q, -2), (p, +1), (r, +3)])
+        deltas = [d for _, d in out]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_wire_size(self):
+        p = Pointstamp(ts(0), "x")
+        assert wire_size([(p, 1), (p, -1)]) == 2 * UPDATE_WIRE_BYTES
+
+
+class TestMayHold:
+    def test_held_when_dominated_by_frontier(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        state = ProgressState(g.summaries)
+        # An early message on c1 dominates a notification at b.
+        state.update(Pointstamp(ts(0), c1), +1)
+        p = Pointstamp(ts(0), b)
+        assert _may_hold_update(state, p, +1, 0)
+        assert _may_hold_update(state, p, -1, 0)
+
+    def test_positive_vertex_surplus_held(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        state = ProgressState(g.summaries)
+        p = Pointstamp(ts(0), b)
+        state.update(p, +1)  # visible occurrence
+        assert _may_hold_update(state, p, +1, 0)
+
+    def test_negative_update_not_held_by_condition_b(self):
+        # The liveness amendment: a decrement with no dominating frontier
+        # element must flush even if the net is positive.
+        g, inp, a, b, c1, c2 = simple_graph()
+        state = ProgressState(g.summaries)
+        p = Pointstamp(ts(0), b)
+        state.update(p, +2)
+        assert not _may_hold_update(state, p, -1, 0)
+
+    def test_connector_updates_not_held_by_condition_b(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        state = ProgressState(g.summaries)
+        p = Pointstamp(ts(0), c2)
+        state.update(p, +1)
+        assert not _may_hold_update(state, p, +1, 0)
+
+    def test_in_flight_counts_toward_net(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        state = ProgressState(g.summaries)
+        p = Pointstamp(ts(0), b)
+        # Nothing visible locally, but our own +1 is in flight.
+        assert _may_hold_update(state, p, +1, +1)
+        assert not _may_hold_update(state, p, +1, -1)
+
+
+class TestProgressView:
+    def test_unblocked_active_frontier(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        view = ProgressView(g.summaries)
+        p = Pointstamp(ts(0), a)
+        view.apply([(p, +1)])
+        assert view.unblocked(p)
+
+    def test_unblocked_inactive_but_clear(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        view = ProgressView(g.summaries)
+        # p itself is not visible (its +1 is buffered elsewhere), but
+        # nothing else could produce work at or before it.
+        assert view.unblocked(Pointstamp(ts(0), b))
+
+    def test_blocked_by_upstream(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        view = ProgressView(g.summaries)
+        view.apply([(Pointstamp(ts(0), c1), +1)])
+        assert not view.unblocked(Pointstamp(ts(0), b))
+        assert not view.unblocked(Pointstamp(ts(5), b))
+
+    def test_same_pointstamp_does_not_block_itself(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        view = ProgressView(g.summaries)
+        p = Pointstamp(ts(0), b)
+        view.apply([(p, +2)])  # two workers requested the same time
+        assert view.unblocked(p)
+
+    def test_on_change_hook_fires(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        calls = []
+        view = ProgressView(g.summaries, on_change=lambda: calls.append(1))
+        view.apply([(Pointstamp(ts(0), a), +1)])
+        assert calls == [1]
+
+    def test_transient_negative_blocks(self):
+        g, inp, a, b, c1, c2 = simple_graph()
+        view = ProgressView(g.summaries)
+        view.apply([(Pointstamp(ts(0), c2), -1)])
+        assert not view.unblocked(Pointstamp(ts(0), b))
+        view.apply([(Pointstamp(ts(0), c2), +1)])
+        assert view.unblocked(Pointstamp(ts(0), b))
+
+
+class TestModes:
+    def test_mode_list(self):
+        assert set(PROTOCOL_MODES) == {"none", "local", "global", "local+global"}
+
+    def test_unknown_mode_rejected(self):
+        from repro.runtime import ClusterComputation
+
+        with pytest.raises(ValueError):
+            comp = ClusterComputation(progress_mode="bogus")
+            comp.new_input()
+            comp.build()

@@ -1,0 +1,132 @@
+"""Tests for cut-through delivery and bounded re-entrancy (section 3.2)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Computation, Vertex
+from repro.lib import Stream
+
+
+def run_wordcount(eager, epochs):
+    comp = Computation(eager_delivery=eager)
+    inp = comp.new_input()
+    out = Counter()
+    (
+        Stream.from_input(inp)
+        .select_many(str.split)
+        .count_by(lambda w: w)
+        .subscribe(lambda t, recs: out.update({(t.epoch, r) for r in recs}))
+    )
+    comp.build()
+    max_queue = 0
+    for records in epochs:
+        inp.on_next(records)
+        max_queue = max(max_queue, len(comp._message_queue))
+        comp.run()
+    inp.on_completed()
+    comp.run()
+    assert comp.drained()
+    return out, comp, max_queue
+
+
+class TestEagerDelivery:
+    @given(st.lists(st.lists(st.text("abc ", max_size=12), max_size=6), min_size=1, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_results_identical(self, epochs):
+        queued, _, _ = run_wordcount(False, epochs)
+        eager, _, _ = run_wordcount(True, epochs)
+        assert queued == eager
+
+    def test_queues_stay_small(self):
+        epochs = [["a b c d e f g h"] * 10]
+        _, comp_q, queue_q = run_wordcount(False, epochs)
+        _, comp_e, queue_e = run_wordcount(True, epochs)
+        assert queue_e < queue_q
+        # Same number of message deliveries either way.
+        assert comp_e.delivered_messages == comp_q.delivered_messages
+
+    def test_iteration_with_eager_delivery(self):
+        comp = Computation(eager_delivery=True, max_eager_depth=8)
+        inp = comp.new_input()
+        got = []
+        (
+            Stream.from_input(inp)
+            .iterate(lambda s: s.select(lambda x: x - 1).where(lambda x: x > 0))
+            .subscribe(lambda t, recs: got.extend(recs))
+        )
+        comp.build()
+        inp.on_next([40])  # depth far beyond max_eager_depth
+        inp.on_completed()
+        comp.run()
+        assert comp.drained()
+        assert sorted(got) == list(range(1, 40))
+
+
+class ReentrantVertex(Vertex):
+    """Sends to itself through a pass-through neighbour; logs nesting."""
+
+    reentrancy = 0  # overridden per test
+
+    def __init__(self, log):
+        super().__init__()
+        self.log = log
+        self.depth = 0
+
+    def on_recv(self, port, records, t):
+        self.depth += 1
+        self.log.append(self.depth)
+        try:
+            value = records[0]
+            if value > 0:
+                self.send_by(0, [value - 1], t)
+        finally:
+            self.depth -= 1
+
+
+def run_reentrant(reentrancy, start=4):
+    comp = Computation(eager_delivery=True, max_eager_depth=64)
+    inp = comp.new_input()
+    log = []
+
+    class V(ReentrantVertex):
+        pass
+
+    V.reentrancy = reentrancy
+    # The vertex feeds itself through a cycle, so it must sit inside a
+    # loop context with a feedback stage.
+    loop = comp.new_loop_context()
+    ingress = comp.add_ingress(loop)
+    inner = comp.graph.new_stage("reentrant", lambda s, w: V(log), 2, 1, context=loop)
+    feedback = comp.add_feedback(loop, max_iterations=50)
+    comp.connect(inp.stage, ingress)
+    comp.graph.connect(ingress, 0, inner, 0)
+    comp.graph.connect(inner, 0, feedback, 0)
+    comp.graph.connect(feedback, 0, inner, 1)
+    comp.build()
+    inp.on_next([start])
+    inp.on_completed()
+    comp.run()
+    assert comp.drained()
+    return log
+
+
+class TestReentrancy:
+    def test_default_not_reentrant(self):
+        # Without re-entrancy the feedback deliveries queue: the vertex
+        # never observes nesting depth > 1.
+        log = run_reentrant(reentrancy=0)
+        assert max(log) == 1
+        assert len(log) == 5  # 4,3,2,1,0
+
+    def test_bounded_reentrancy_allows_nesting(self):
+        log = run_reentrant(reentrancy=2)
+        assert max(log) > 1
+        assert max(log) <= 3  # 1 initial + 2 re-entrant
+        assert len(log) == 5
+
+    def test_results_independent_of_reentrancy(self):
+        assert sorted(run_reentrant(0)) != [] and len(run_reentrant(0)) == len(
+            run_reentrant(3)
+        )

@@ -1,0 +1,119 @@
+"""Tests for the synthetic workload generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    TweetGenerator,
+    TweetStreamConfig,
+    generate_corpus,
+    hashtag_records,
+    mention_edges,
+    power_law_graph,
+    undirected_adjacency,
+    uniform_random_graph,
+    weak_scaling_graph,
+    zorder,
+)
+
+
+class TestGraphs:
+    def test_uniform_random_shape(self):
+        edges = uniform_random_graph(100, 500, seed=1)
+        assert len(edges) == 500
+        assert all(0 <= u < 100 and 0 <= v < 100 for u, v in edges)
+
+    def test_deterministic_by_seed(self):
+        assert uniform_random_graph(50, 100, seed=3) == uniform_random_graph(
+            50, 100, seed=3
+        )
+        assert uniform_random_graph(50, 100, seed=3) != uniform_random_graph(
+            50, 100, seed=4
+        )
+
+    def test_power_law_degree_skew(self):
+        edges = power_law_graph(500, edges_per_node=3, seed=2)
+        in_degree = Counter(v for _, v in edges)
+        degrees = sorted(in_degree.values(), reverse=True)
+        # Heavy tail: the top node dominates the median node.
+        assert degrees[0] > 10 * degrees[len(degrees) // 2]
+
+    def test_power_law_edges_point_backwards(self):
+        edges = power_law_graph(100, edges_per_node=2, seed=0)
+        assert all(target < node for node, target in edges)
+
+    def test_weak_scaling_sizes(self):
+        small = weak_scaling_graph(2, 100, 200, seed=5)
+        large = weak_scaling_graph(8, 100, 200, seed=5)
+        assert len(small) == 400
+        assert len(large) == 1600
+        assert max(max(e) for e in large) < 800
+
+    def test_undirected_adjacency(self):
+        adjacency = undirected_adjacency([(1, 2), (2, 3)])
+        assert sorted(adjacency[2]) == [1, 3]
+
+    def test_zorder_interleaves(self):
+        assert zorder(0, 0) == 0
+        assert zorder(0, 1) == 1
+        assert zorder(1, 0) == 2
+        assert zorder(1, 1) == 3
+        # Locality: nearby coordinates map to nearby codes more often
+        # than far ones (coarse check on one axis).
+        assert abs(zorder(5, 5) - zorder(5, 6)) < abs(zorder(5, 5) - zorder(40, 40))
+
+
+class TestText:
+    def test_corpus_shape(self):
+        corpus = generate_corpus(100, words_per_line=7, vocabulary_size=50, seed=1)
+        assert len(corpus) == 100
+        assert all(len(line.split()) == 7 for line in corpus)
+
+    def test_zipf_head_dominates(self):
+        corpus = generate_corpus(500, words_per_line=10, vocabulary_size=100, seed=1)
+        counts = Counter(w for line in corpus for w in line.split())
+        ranked = [c for _, c in counts.most_common()]
+        assert ranked[0] > 5 * ranked[min(30, len(ranked) - 1)]
+
+    def test_vocabulary_respected(self):
+        corpus = generate_corpus(50, vocabulary_size=10, seed=2)
+        words = {w for line in corpus for w in line.split()}
+        assert words <= {"w%05d" % i for i in range(10)}
+
+    def test_deterministic(self):
+        assert generate_corpus(20, seed=7) == generate_corpus(20, seed=7)
+
+
+class TestTweets:
+    def test_batch_and_extraction(self):
+        generator = TweetGenerator(TweetStreamConfig(seed=3))
+        batch = generator.batch(200)
+        assert len(batch) == 200
+        edges = mention_edges(batch)
+        tags = hashtag_records(batch)
+        assert all(isinstance(u, int) and isinstance(v, int) for u, v in edges)
+        assert all(tag.startswith("#") for _, tag in tags)
+
+    def test_rates_follow_config(self):
+        config = TweetStreamConfig(
+            mention_probability=1.0, hashtag_probability=0.0, seed=1
+        )
+        batch = TweetGenerator(config).batch(50)
+        assert all(tweet.mentions for tweet in batch)
+        assert all(not tweet.hashtags for tweet in batch)
+
+    def test_user_skew(self):
+        generator = TweetGenerator(TweetStreamConfig(num_users=1000, seed=5))
+        users = Counter(t.user for t in generator.batch(2000))
+        top = users.most_common(1)[0][1]
+        assert top > 20  # a celebrity exists
+
+    def test_query_in_range(self):
+        generator = TweetGenerator(TweetStreamConfig(num_users=10, seed=2))
+        assert all(0 <= generator.query() < 10 for _ in range(100))
+
+    def test_deterministic(self):
+        a = TweetGenerator(TweetStreamConfig(seed=9)).batch(20)
+        b = TweetGenerator(TweetStreamConfig(seed=9)).batch(20)
+        assert a == b
