@@ -406,6 +406,11 @@ class Computation:
         and the progress-tracking state.
         """
         self._check_built()
+        if self._frame:
+            raise RuntimeError(
+                "checkpoint() called from inside a vertex callback; "
+                "a consistent snapshot requires the worker to be paused"
+            )
         while self._message_queue:
             connector, records, timestamp = self._message_queue.popleft()
             self._deliver_message(connector, records, timestamp)
@@ -423,6 +428,11 @@ class Computation:
     def restore(self, snapshot: Dict[str, Any]) -> None:
         """Reset the computation to a :meth:`checkpoint` snapshot."""
         self._check_built()
+        if self._frame:
+            raise RuntimeError(
+                "restore() called from inside a vertex callback; "
+                "rollback requires the worker to be paused"
+            )
         self._message_queue.clear()
         by_index = {stage.index: stage for stage in self.graph.stages}
         for index, state in snapshot["vertices"].items():

@@ -113,7 +113,20 @@ class Vertex:
         return copy.deepcopy(state)
 
     def restore(self, state: Any) -> None:
-        """Reset this vertex's state from a :meth:`checkpoint` snapshot."""
+        """Reset this vertex's state from a :meth:`checkpoint` snapshot.
+
+        Attributes acquired *after* the checkpoint (and not transient)
+        are removed, so restore really is a rollback: a vertex that
+        lazily created per-timestamp state past the snapshot point does
+        not keep it into the replayed execution.
+        """
+        stale = [
+            key
+            for key in self.__dict__
+            if key not in self._TRANSIENT_ATTRS and key not in state
+        ]
+        for key in stale:
+            delattr(self, key)
         for key, value in copy.deepcopy(state).items():
             setattr(self, key, value)
 

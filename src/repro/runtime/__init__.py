@@ -1,10 +1,12 @@
 """The simulated distributed runtime (paper section 3).
 
 Exports :class:`ClusterComputation` (drop-in for
-:class:`repro.core.Computation`), the cost/fault-tolerance policies and
-the synthetic-record helpers used by benchmarks.
+:class:`repro.core.Computation`), the cost/fault-tolerance policies,
+the checkpoint/recovery machinery and the synthetic-record helpers
+used by benchmarks.
 """
 
+from .checkpoint import RECOVERY_POLICIES, RecoveryManager
 from .cluster import ClusterComputation, CostModel, FaultTolerance
 from .protocol import PROTOCOL_MODES, UPDATE_WIRE_BYTES
 from .synthetic import SyntheticRecords, batch_bytes, record_count
@@ -14,6 +16,8 @@ __all__ = [
     "CostModel",
     "FaultTolerance",
     "PROTOCOL_MODES",
+    "RECOVERY_POLICIES",
+    "RecoveryManager",
     "SyntheticRecords",
     "UPDATE_WIRE_BYTES",
     "batch_bytes",

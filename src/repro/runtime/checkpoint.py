@@ -1,0 +1,405 @@
+"""Checkpointing, failure injection and recovery for the simulated
+cluster (paper section 3.4).
+
+Naiad's fault-tolerance cycle is: pause worker threads, flush message
+queues and progress-protocol buffers so every process agrees on the
+occurrence counts, ask each stateful vertex for a checkpoint, log the
+state durably, then resume.  Recovery after a process failure rolls
+*every* process back to the last durable checkpoint, reassigns the
+failed process's vertices to the remaining machines (or to a restarted
+process), rebuilds progress-tracking state on all peers, and replays
+the logged inputs.
+
+:class:`RecoveryManager` implements that cycle on the discrete-event
+cluster of :mod:`repro.runtime.cluster`:
+
+**Input journal.**  Every epoch the external producer supplies (and
+every input close) is journaled before release.  The journal is the
+replay log: after a rollback, re-executing the journal suffix past the
+checkpoint regenerates exactly the lost computation, because vertex
+execution is deterministic for a fixed graph and input.  In ``logging``
+mode the runtime additionally pays the continual cost of journaling
+every cross-process message batch (charged in ``_Worker._step``); the
+manager accounts those bytes so recovery pays a log-read cost instead
+of recomputing from the most recent full checkpoint only.
+
+**Checkpoint barrier.**  A trigger (every ``checkpoint_every`` released
+epochs, or an explicit :meth:`ClusterComputation.checkpoint` call)
+pauses the release of further input and waits for the cluster to reach
+quiescence: no message in flight on the network, no worker with queued
+messages or an uncommitted callback.  Reaching quiescence is detected
+by a probe event that re-arms itself at the simulator's next event time
+— the virtual-time analogue of the paper's "wait for all workers to
+pause".  At the barrier the withheld updates in every protocol
+accumulator are flushed synchronously (legal precisely because nothing
+is in flight), after which all process views agree and the global state
+is a consistent cut: vertices, pending notifications and one shared set
+of occurrence counts.
+
+**Failure.**  :meth:`ClusterComputation.kill_process` injects a failure
+at a virtual time.  The network tears down in-flight traffic, all
+workers are discarded (global rollback — survivors' state past the
+checkpoint is invalidated by the lost process's messages), vertices are
+restored from the latest durable snapshot, progress views are rebuilt
+from the checkpointed occurrence counts, and the journal suffix
+replays.  Outputs already released to external subscribers are
+remembered and suppressed during replay, so a recovered run releases
+each (sink, timestamp) batch exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: Recovery placement policies.
+RECOVERY_POLICIES = ("restart", "reassign")
+
+
+class RecoveryManager:
+    """Orchestrates checkpoints, failure handling and replay.
+
+    One manager exists per :class:`ClusterComputation`; it owns the
+    input journal, the latest durable snapshot, the exactly-once output
+    ledger and all failure bookkeeping.  The cluster delegates its
+    public ``checkpoint()``/``restore()``/``kill_process()`` API here.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        #: Ordered input journal: ("epoch", stage, epoch, records) and
+        #: ("close", stage, next_epoch) entries, in arrival order.
+        self.journal: List[Tuple] = []
+        #: Journal prefix already released into the dataflow.
+        self.released = 0
+        #: Data epochs released so far (the checkpoint trigger counter).
+        self.epochs_released = 0
+        #: True while a checkpoint barrier is draining the cluster; new
+        #: journal entries are deferred until the snapshot completes.
+        self.paused = False
+        #: Bumped by every failure/rollback; cancels stale probe events.
+        self._generation = 0
+        #: Latest durable checkpoint (None until one is taken).
+        self.snapshot: Optional[Dict[str, Any]] = None
+        #: Snapshot of the freshly built cluster; the rollback target
+        #: when no checkpoint has been taken yet (mode "none" recovers
+        #: by replaying the whole journal from here).
+        self.initial: Optional[Dict[str, Any]] = None
+        self.checkpoint_count = 0
+        self.last_checkpoint_time: Optional[float] = None
+        #: Continual-logging accounting ("logging" mode).
+        self.logged_bytes = 0
+        self.logged_batches = 0
+        self._logged_at_snapshot = 0
+        #: Processes currently without live workers ("reassign" policy).
+        self.dead_processes: Set[int] = set()
+        #: One record per injected failure (see :meth:`fail_process`).
+        self.failures: List[Dict[str, Any]] = []
+        #: (stage_index, worker, timestamp) batches already delivered to
+        #: external subscribers; replay skips them (exactly-once).
+        self._released_outputs: Set[Tuple[int, int, Any]] = set()
+
+    # ------------------------------------------------------------------
+    # Input journal and release pump.
+    # ------------------------------------------------------------------
+
+    def journal_epoch(self, stage, records: List[Any], epoch: int) -> None:
+        self.journal.append(("epoch", stage, epoch, records))
+        self.pump()
+
+    def journal_close(self, stage, next_epoch: int) -> None:
+        self.journal.append(("close", stage, next_epoch))
+        self.pump()
+
+    def pump(self) -> None:
+        """Release journal entries into the dataflow until paused.
+
+        Doubles as the replay loop: after a rollback ``released`` points
+        back into the journal and pumping re-executes the suffix.
+        """
+        cluster = self.cluster
+        ft = cluster.fault_tolerance
+        while not self.paused and self.released < len(self.journal):
+            entry = self.journal[self.released]
+            self.released += 1
+            if entry[0] == "epoch":
+                _, stage, epoch, records = entry
+                cluster._release_epoch(stage, records, epoch)
+                self.epochs_released += 1
+                if (
+                    ft.mode in ("checkpoint", "logging")
+                    and ft.checkpoint_every > 0
+                    and self.epochs_released % ft.checkpoint_every == 0
+                ):
+                    self.begin_checkpoint()
+            else:
+                _, stage, next_epoch = entry
+                cluster._release_close(stage, next_epoch)
+
+    # ------------------------------------------------------------------
+    # The checkpoint barrier.
+    # ------------------------------------------------------------------
+
+    def begin_checkpoint(self) -> None:
+        """Pause input release and start draining toward quiescence."""
+        if self.paused:
+            return
+        self.paused = True
+        self._schedule_probe()
+
+    def _schedule_probe(self, at: Optional[float] = None) -> None:
+        sim = self.cluster.sim
+        generation = self._generation
+        time = sim.now if at is None else max(at, sim.now)
+        sim.schedule_at(time, lambda: self._probe(generation))
+
+    def _probe(self, generation: int) -> None:
+        if generation != self._generation or not self.paused:
+            return  # a failure rolled the cluster back; cycle abandoned
+        if not self.quiescent():
+            self._rearm_probe()
+            return
+        # Nothing in flight: flush the withheld protocol updates so all
+        # views agree, then re-arm if the flush unblocked more work.
+        self.cluster._flush_protocol_buffers()
+        for worker in self.cluster.workers:
+            worker.activate()
+        if not self.quiescent():
+            self._rearm_probe()
+            return
+        self.complete_checkpoint()
+
+    def _rearm_probe(self) -> None:
+        next_time = self.cluster.sim.next_event_time
+        if next_time is None:
+            raise RuntimeError(
+                "checkpoint barrier cannot reach quiescence; cluster state:\n"
+                + self.cluster.debug_state()
+            )
+        self._schedule_probe(at=next_time)
+
+    def quiescent(self) -> bool:
+        """No message in flight, no worker with undelivered work."""
+        cluster = self.cluster
+        if cluster.network.in_flight:
+            return False
+        for worker in cluster.workers:
+            if worker.queue or worker._scheduled or worker._commit_pending:
+                return False
+        return True
+
+    def complete_checkpoint(self) -> Dict[str, Any]:
+        """Snapshot the quiescent cluster, charge the write, resume."""
+        cluster = self.cluster
+        now = cluster.sim.now
+        self.snapshot = self.take_snapshot()
+        self.checkpoint_count += 1
+        self.last_checkpoint_time = now
+        self._logged_at_snapshot = self.logged_bytes
+        self._prune_released_outputs(self.snapshot)
+        duration = self._write_duration()
+        if duration > 0:
+            resume = now + duration
+            for worker in cluster.workers:
+                worker.busy_until = max(worker.busy_until, resume)
+            # The computation is not done until the checkpoint is
+            # durable; advance the clock to the write's completion even
+            # if no further work exists.
+            cluster.sim.schedule_at(resume, lambda: None)
+        self.paused = False
+        self.pump()
+        return self.snapshot
+
+    def _write_duration(self) -> float:
+        """Checkpoint write time: processes write their workers' state
+        to local disk in parallel, so the slowest (most loaded) process
+        gates the pause."""
+        ft = self.cluster.fault_tolerance
+        hosted: Dict[int, int] = {}
+        for worker in self.cluster.workers:
+            hosted[worker.process] = hosted.get(worker.process, 0) + 1
+        most = max(hosted.values()) if hosted else 0
+        return ft.state_bytes_per_worker * most / ft.disk_bandwidth
+
+    def take_snapshot(self) -> Dict[str, Any]:
+        """Capture the consistent cut.  Caller ensures quiescence."""
+        cluster = self.cluster
+        occurrence = cluster.views[0].snapshot()
+        for view in cluster.views[1:]:
+            if view.state.occurrence != occurrence:
+                raise RuntimeError(
+                    "progress views disagree at a checkpoint barrier; "
+                    "the protocol flush is incomplete:\n" + cluster.debug_state()
+                )
+        return {
+            "time": cluster.sim.now,
+            "vertices": {
+                (stage.index, index): vertex.checkpoint()
+                for (stage, index), vertex in cluster.vertices.items()
+            },
+            "pending": {
+                w.index: dict(w.pending_notifications) for w in cluster.workers
+            },
+            "cleanups": {
+                w.index: dict(w.pending_cleanups) for w in cluster.workers
+            },
+            "occurrence": occurrence,
+            "journal_released": self.released,
+            "epochs_released": self.epochs_released,
+            "epochs": [(h.next_epoch, h.closed) for h in cluster.inputs],
+            "worker_process": list(cluster._worker_process),
+        }
+
+    def _prune_released_outputs(self, snapshot: Dict[str, Any]) -> None:
+        """Drop exactly-once ledger entries no replay can ever reach.
+
+        Replay re-delivers only inputs journaled at or after the durable
+        snapshot, so sink timestamps below every input's active epoch in
+        the snapshot are final and their dedup entries can be freed.
+        """
+        floors = [
+            pointstamp.timestamp.epoch
+            for pointstamp, count in snapshot["occurrence"].items()
+            if count > 0 and pointstamp.location in {h.stage for h in self.cluster.inputs}
+        ]
+        floor = min(floors) if floors else None
+        if floor is None:
+            # Every input closed and fully released: nothing replays.
+            self._released_outputs.clear()
+            return
+        self._released_outputs = {
+            key for key in self._released_outputs if key[2].epoch >= floor
+        }
+
+    # ------------------------------------------------------------------
+    # Exactly-once output release.
+    # ------------------------------------------------------------------
+
+    def note_release(self, stage_index: int, worker: int, timestamp) -> bool:
+        """Record an external output release; False if already released
+        (a replayed duplicate that must be suppressed)."""
+        key = (stage_index, worker, timestamp)
+        if key in self._released_outputs:
+            return False
+        self._released_outputs.add(key)
+        return True
+
+    def note_logged(self, nbytes: int) -> None:
+        """Account one message batch written to the continual log."""
+        self.logged_bytes += nbytes
+        self.logged_batches += 1
+
+    # ------------------------------------------------------------------
+    # Failure and rollback.
+    # ------------------------------------------------------------------
+
+    def fail_process(self, process: int) -> None:
+        """Kill a process now: lose its workers, roll the cluster back.
+
+        Placement of the dead process's workers follows
+        ``FaultTolerance.recovery``: ``"restart"`` brings the process
+        back after ``restart_delay`` (same worker placement);
+        ``"reassign"`` spreads its workers round-robin over the
+        survivors (the dead process stays dead, as under Naiad's
+        vertex-reassignment recovery).
+        """
+        cluster = self.cluster
+        if process in self.dead_processes:
+            return  # already dead; nothing new to lose
+        now = cluster.sim.now
+        ft = cluster.fault_tolerance
+        snapshot = self.snapshot or self.initial
+        policy = ft.recovery
+        survivors = [
+            p
+            for p in range(cluster.num_processes)
+            if p != process and p not in self.dead_processes
+        ]
+        if policy == "reassign" and survivors:
+            self.dead_processes.add(process)
+            mapping = list(cluster._worker_process)
+            cursor = 0
+            for index in range(cluster.total_workers):
+                if mapping[index] == process:
+                    mapping[index] = survivors[cursor % len(survivors)]
+                    cursor += 1
+            cluster._worker_process = mapping
+        else:
+            policy = "restart"
+        ready = now + ft.restart_delay
+        if ft.mode in ("checkpoint", "logging") and self.snapshot is not None:
+            hosted: Dict[int, int] = {}
+            for owner in cluster._worker_process:
+                hosted[owner] = hosted.get(owner, 0) + 1
+            most = max(hosted.values()) if hosted else 0
+            ready += ft.state_bytes_per_worker * most / ft.disk_bandwidth
+        if ft.mode == "logging":
+            ready += (self.logged_bytes - self._logged_at_snapshot) / ft.disk_bandwidth
+        self._restore_and_replay(snapshot, ready)
+        self.failures.append(
+            {
+                "at": now,
+                "process": process,
+                "policy": policy,
+                "ready": ready,
+                "restored_from": snapshot["time"],
+                "replayed_entries": len(self.journal) - snapshot["journal_released"],
+            }
+        )
+        self.pump()
+
+    def rollback_to(self, snapshot: Dict[str, Any]) -> None:
+        """Public restore(): roll back to ``snapshot`` and replay the
+        journal suffix (no failure, no recovery latency)."""
+        self._restore_and_replay(snapshot, self.cluster.sim.now)
+        self.pump()
+
+    def _restore_and_replay(self, snapshot: Dict[str, Any], ready: float) -> None:
+        """The global rollback: every process restarts from the cut."""
+        cluster = self.cluster
+        self._generation += 1  # cancel any pending checkpoint probe
+        self.paused = False
+        cluster.network.teardown_inflight()
+        cluster._rebuild_workers(busy_until=ready)
+        cluster._restore_snapshot(snapshot)
+        self.released = snapshot["journal_released"]
+        self.epochs_released = snapshot["epochs_released"]
+
+    # ------------------------------------------------------------------
+    # Introspection (debug_state / benchmarks).
+    # ------------------------------------------------------------------
+
+    def describe(self) -> List[str]:
+        lines = [
+            "  checkpoints=%d last_at=%s journal=%d entries (%d released)"
+            % (
+                self.checkpoint_count,
+                "%.6f" % self.last_checkpoint_time
+                if self.last_checkpoint_time is not None
+                else "never",
+                len(self.journal),
+                self.released,
+            )
+        ]
+        if self.logged_batches:
+            lines.append(
+                "  message log: %d batches, %d bytes"
+                % (self.logged_batches, self.logged_bytes)
+            )
+        if self.dead_processes:
+            lines.append(
+                "  dead processes: %s" % sorted(self.dead_processes)
+            )
+        for failure in self.failures:
+            lines.append(
+                "  failure: process %d at t=%.6f policy=%s restored_from=t=%.6f "
+                "replayed=%d ready=t=%.6f"
+                % (
+                    failure["process"],
+                    failure["at"],
+                    failure["policy"],
+                    failure["restored_from"],
+                    failure["replayed_entries"],
+                    failure["ready"],
+                )
+            )
+        return lines

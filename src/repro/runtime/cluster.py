@@ -30,6 +30,7 @@ from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
 from ..sim.des import Simulator
 from ..sim.network import Network, NetworkConfig
+from .checkpoint import RECOVERY_POLICIES, RecoveryManager
 from .protocol import (
     CentralAccumulator,
     ProgressView,
@@ -66,12 +67,22 @@ class CostModel:
 
 @dataclass
 class FaultTolerance:
-    """Fault-tolerance policy knobs (sections 3.4 and 6.3)."""
+    """Fault-tolerance policy knobs (sections 3.4 and 6.3).
+
+    ``mode`` selects what is durable: ``"none"`` journals only the raw
+    input (the external producer can always resupply it); ``"checkpoint"``
+    takes a full consistent checkpoint every ``checkpoint_every`` input
+    epochs; ``"logging"`` additionally journals every cross-process
+    message batch continually (and still checkpoints periodically, which
+    bounds how far recovery must read the log).  All three modes survive
+    :meth:`ClusterComputation.kill_process` with identical outputs —
+    they differ in how much virtual time the run and the recovery cost.
+    """
 
     #: "none", "checkpoint" (periodic full checkpoints) or "logging"
     #: (continual logging of sent messages).
     mode: str = "none"
-    #: Take a checkpoint every N input epochs ("checkpoint" mode).
+    #: Take a checkpoint every N input epochs ("checkpoint"/"logging").
     checkpoint_every: int = 100
     #: State written per worker at each checkpoint, bytes.
     state_bytes_per_worker: int = 4 << 20
@@ -79,6 +90,11 @@ class FaultTolerance:
     disk_bandwidth: float = 200e6
     #: Fixed log-record overhead per message batch ("logging" mode).
     log_bytes_per_batch: int = 64
+    #: Placement after a kill: "restart" the failed process in place, or
+    #: "reassign" its workers round-robin across the survivors.
+    recovery: str = "restart"
+    #: Failure detection + process restart/failover time, seconds.
+    restart_delay: float = 1.0
 
 
 class _Worker:
@@ -92,7 +108,9 @@ class _Worker:
         "pending_notifications",
         "pending_cleanups",
         "busy_until",
+        "dead",
         "_scheduled",
+        "_commit_pending",
         "_frame_time",
         "_frame_stage",
         "_frame_capability",
@@ -105,12 +123,18 @@ class _Worker:
     def __init__(self, cluster: "ClusterComputation", index: int):
         self.cluster = cluster
         self.index = index
-        self.process = index // cluster.workers_per_process
+        self.process = cluster.worker_process(index)
         self.queue: deque = deque()
         self.pending_notifications: Dict[Pointstamp, int] = {}
         self.pending_cleanups: Dict[Pointstamp, int] = {}
         self.busy_until = 0.0
+        #: Set when the hosting process is killed; scheduled events that
+        #: still reference this object become no-ops.
+        self.dead = False
         self._scheduled = False
+        #: A _step finished but its _commit has not run yet; the cluster
+        #: is not quiescent while any commit is outstanding.
+        self._commit_pending = False
         self._frame_time: Optional[Timestamp] = None
         self._frame_stage: Optional[Stage] = None
         self._frame_capability = True
@@ -194,11 +218,13 @@ class _Worker:
         timestamp: Timestamp,
         remote_bytes: int = 0,
     ) -> None:
+        if self.dead:
+            return  # message addressed to a lost worker; replay covers it
         self.queue.append((connector, records, timestamp, remote_bytes))
         self.activate()
 
     def activate(self) -> None:
-        if self._scheduled:
+        if self.dead or self._scheduled:
             return
         if (
             not self.queue
@@ -238,6 +264,8 @@ class _Worker:
         return None
 
     def _step(self) -> None:
+        if self.dead:
+            return
         self._scheduled = False
         cluster = self.cluster
         now = cluster.sim.now
@@ -332,12 +360,14 @@ class _Worker:
             if log_bytes == 0:
                 log_bytes = cluster.fault_tolerance.log_bytes_per_batch
             cost += log_bytes / cluster.fault_tolerance.disk_bandwidth
+            cluster.recovery.note_logged(log_bytes)
 
         finish = start + cost
         self.busy_until = finish
         updates, dispatches = self._updates, self._dispatches
         self._updates = None
         self._dispatches = None
+        self._commit_pending = True
         cluster.sim.schedule_at(finish, lambda: self._commit(updates, dispatches))
 
     def _commit(
@@ -345,6 +375,9 @@ class _Worker:
         updates: List[Tuple[Pointstamp, int]],
         dispatches: List[Tuple[Connector, int, List[Any], Timestamp]],
     ) -> None:
+        if self.dead:
+            return  # the callback's effects died with the process
+        self._commit_pending = False
         cluster = self.cluster
         for connector, dest, batch, out_time in dispatches:
             dest_process = cluster.worker_process(dest)
@@ -409,20 +442,31 @@ class ClusterComputation(Computation):
         self.cost_model = cost_model or CostModel()
         self.progress_mode = progress_mode
         self.fault_tolerance = fault_tolerance or FaultTolerance()
+        if self.fault_tolerance.recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                "FaultTolerance.recovery must be one of %r" % (RECOVERY_POLICIES,)
+            )
         self.views: List[ProgressView] = []
         self.nodes: List[ProtocolNode] = []
         self.central: Optional[CentralAccumulator] = None
         self.workers: List[_Worker] = []
         self.vertices: Dict[Tuple[Stage, int], Vertex] = {}
         self._stage_costs: Dict[Stage, float] = {}
-        self._epochs_fed = 0
+        #: Worker index -> hosting process.  Initially the contiguous
+        #: block layout; failure recovery with the "reassign" policy
+        #: remaps a dead process's entries onto the survivors.
+        self._worker_process: List[int] = [
+            index // workers_per_process for index in range(self.total_workers)
+        ]
+        self._process_workers: Dict[int, List[_Worker]] = {}
+        self.recovery: Optional[RecoveryManager] = None
 
     # ------------------------------------------------------------------
     # Configuration.
     # ------------------------------------------------------------------
 
     def worker_process(self, worker_index: int) -> int:
-        return worker_index // self.workers_per_process
+        return self._worker_process[worker_index]
 
     def set_stage_cost(self, stage: Stage, per_record_seconds: float) -> None:
         """Override the per-record CPU cost for one stage."""
@@ -471,6 +515,7 @@ class ClusterComputation(Computation):
             for node in self.nodes:
                 node.central = self.central
         self.workers = [_Worker(self, index) for index in range(self.total_workers)]
+        self._rebuild_process_index()
         for stage in self.graph.stages:
             if stage.kind is StageKind.INPUT:
                 continue
@@ -485,21 +530,59 @@ class ClusterComputation(Computation):
         ]
         for view in self.views:
             view.apply(list(initial))
+        self.recovery = RecoveryManager(self)
+        self._wrap_external_outputs()
+        # The rollback target before any checkpoint exists: the freshly
+        # built cluster, from which the whole input journal can replay.
+        self.recovery.initial = self.recovery.take_snapshot()
         self._built = True
 
+    def _wrap_external_outputs(self) -> None:
+        """Make subscriber callbacks exactly-once across replays."""
+        from ..lib.operators import SubscribeVertex
+
+        for (stage, index), vertex in self.vertices.items():
+            if isinstance(vertex, SubscribeVertex):
+                vertex.callback = self._exactly_once(
+                    stage.index, index, vertex.callback
+                )
+
+    def _exactly_once(
+        self, stage_index: int, worker: int, callback: Callable
+    ) -> Callable:
+        def release(timestamp: Timestamp, records: List[Any]) -> None:
+            if self.recovery.note_release(stage_index, worker, timestamp):
+                callback(timestamp, records)
+
+        return release
+
     def _recheck_process(self, process: int) -> None:
-        base = process * self.workers_per_process
-        for worker in self.workers[base : base + self.workers_per_process]:
+        for worker in self._process_workers.get(process, ()):
             if worker.pending_notifications or worker.pending_cleanups:
                 worker.activate()
         if self.central is not None and process == self.central.process:
             self.central.recheck()
+
+    def _rebuild_process_index(self) -> None:
+        index: Dict[int, List[_Worker]] = {}
+        for worker in self.workers:
+            index.setdefault(worker.process, []).append(worker)
+        self._process_workers = index
 
     # ------------------------------------------------------------------
     # Inputs (the external producer feeds all workers' input vertices).
     # ------------------------------------------------------------------
 
     def _input_epoch(self, stage: Stage, records: List[Any], epoch: int) -> None:
+        # Journal first (the durable replay log), then release through
+        # the recovery manager — which defers the release while a
+        # checkpoint barrier is draining the cluster.
+        self.recovery.journal_epoch(stage, records, epoch)
+
+    def _input_closed(self, stage: Stage, next_epoch: int) -> None:
+        self.recovery.journal_close(stage, next_epoch)
+
+    def _release_epoch(self, stage: Stage, records: List[Any], epoch: int) -> None:
         timestamp = Timestamp(epoch)
         updates: List[Tuple[Pointstamp, int]] = []
         for connector in stage.outputs[0]:
@@ -514,10 +597,6 @@ class ClusterComputation(Computation):
         updates.append((Pointstamp(Timestamp(epoch + 1), stage), +1))
         updates.append((Pointstamp(timestamp, stage), -1))
         self._controller_broadcast(updates)
-        self._epochs_fed += 1
-        ft = self.fault_tolerance
-        if ft.mode == "checkpoint" and self._epochs_fed % ft.checkpoint_every == 0:
-            self._inject_checkpoint_pause()
 
     def _partition_input(
         self, connector: Connector, records: List[Any]
@@ -541,7 +620,7 @@ class ClusterComputation(Computation):
                 buckets.setdefault(offset % total, []).append(record)
         return list(buckets.items())
 
-    def _input_closed(self, stage: Stage, next_epoch: int) -> None:
+    def _release_close(self, stage: Stage, next_epoch: int) -> None:
         self._controller_broadcast(
             [(Pointstamp(Timestamp(next_epoch), stage), -1)]
         )
@@ -554,14 +633,6 @@ class ClusterComputation(Computation):
             self.network.send(
                 0, dst, size, "progress", lambda n=node: n.receive(updates, ())
             )
-
-    def _inject_checkpoint_pause(self) -> None:
-        """Section 3.4: pause all workers while state is written."""
-        ft = self.fault_tolerance
-        duration = ft.state_bytes_per_worker / ft.disk_bandwidth
-        resume = self.sim.now + duration
-        for worker in self.workers:
-            worker.busy_until = max(worker.busy_until, resume)
 
     # ------------------------------------------------------------------
     # Execution.
@@ -586,6 +657,19 @@ class ClusterComputation(Computation):
 
     def debug_state(self) -> str:
         lines = ["t=%.6f pending_events=%d" % (self.sim.now, self.sim.pending_events)]
+        ft = self.fault_tolerance
+        lines.append(
+            "  fault-tolerance: mode=%s recovery=%s%s"
+            % (
+                ft.mode,
+                ft.recovery,
+                " (checkpoint barrier draining)"
+                if self.recovery is not None and self.recovery.paused
+                else "",
+            )
+        )
+        if self.recovery is not None:
+            lines.extend(self.recovery.describe())
         for process, view in enumerate(self.views):
             if len(view.state):
                 lines.append(
@@ -594,8 +678,13 @@ class ClusterComputation(Computation):
         for worker in self.workers:
             if worker.has_work():
                 lines.append(
-                    "  worker %d: queue=%d pending=%r"
-                    % (worker.index, len(worker.queue), worker.pending_notifications)
+                    "  worker %d (process %d): queue=%d pending=%r"
+                    % (
+                        worker.index,
+                        worker.process,
+                        len(worker.queue),
+                        worker.pending_notifications,
+                    )
                 )
         for node in self.nodes:
             if node.buffer:
@@ -604,15 +693,135 @@ class ClusterComputation(Computation):
             lines.append("  central buffer: %r" % (self.central.buffer,))
         return "\n".join(lines)
 
-    # The reference-runtime checkpoint API does not apply here;
-    # fault tolerance is modeled by FaultTolerance policies.
-    def checkpoint(self):  # pragma: no cover - guidance only
-        raise NotImplementedError(
-            "use FaultTolerance policies on the cluster runtime; the "
-            "reference runtime supports checkpoint()/restore() directly"
-        )
+    # ------------------------------------------------------------------
+    # Fault tolerance (section 3.4): checkpoint barrier, failure
+    # injection, rollback recovery.  The cycle itself lives in
+    # :class:`repro.runtime.checkpoint.RecoveryManager`.
+    # ------------------------------------------------------------------
 
-    restore = checkpoint
+    def checkpoint(self) -> Dict[str, Any]:
+        """Take a consistent checkpoint now and return the snapshot.
+
+        Same signature as :meth:`repro.core.Computation.checkpoint`.
+        Drives the simulation to quiescence (delivering any outstanding
+        work), flushes the progress-protocol accumulators so every
+        process view agrees, then snapshots vertices, pending
+        notifications and occurrence counts.  The snapshot becomes the
+        durable rollback target for subsequent failures, and the write
+        pause is charged to virtual time.
+        """
+        self._check_built()
+        self._check_not_in_event("checkpoint")
+        recovery = self.recovery
+        while True:
+            self.sim.run()
+            self._flush_protocol_buffers()
+            for worker in self.workers:
+                worker.activate()
+            if self.sim.pending_events == 0 and recovery.quiescent():
+                break
+        return recovery.complete_checkpoint()
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Roll the cluster back to ``snapshot`` and replay the input
+        journal recorded since it was taken.
+
+        Same signature as :meth:`repro.core.Computation.restore`, with
+        recovery semantics: input supplied after the checkpoint is not
+        forgotten — it re-executes from the journal, and outputs already
+        released to subscribers are suppressed (exactly-once).  Call
+        :meth:`run` afterwards to drive the replay to completion.
+        """
+        self._check_built()
+        self._check_not_in_event("restore")
+        self.recovery.rollback_to(snapshot)
+
+    def kill_process(self, process: int, at: Optional[float] = None) -> None:
+        """Inject a process failure (now, or at virtual time ``at``).
+
+        The process's workers, queues and in-flight messages are lost;
+        every peer rolls back to the latest durable checkpoint (the
+        built state if none was taken) and the journaled input replays.
+        Placement of the dead process's workers follows
+        ``FaultTolerance.recovery``.
+        """
+        self._check_built()
+        if not 0 <= process < self.num_processes:
+            raise ValueError(
+                "process %d out of range (cluster has %d)"
+                % (process, self.num_processes)
+            )
+        if at is None:
+            self._check_not_in_event("kill_process")
+            self.recovery.fail_process(process)
+        else:
+            self.sim.schedule_at(at, lambda: self.recovery.fail_process(process))
+
+    def _check_not_in_event(self, name: str) -> None:
+        # Re-entering the control API from inside a simulator event (a
+        # vertex callback, a subscription) would re-run the event loop
+        # under the caller's feet; schedule the call instead.
+        if self.sim.in_event:
+            raise RuntimeError(
+                "%s() may not be called from inside a vertex callback; "
+                "use sim.schedule_at() or call it between run()s" % name
+            )
+
+    def _flush_protocol_buffers(self) -> None:
+        """Synchronously disseminate all withheld progress updates.
+
+        Part of the checkpoint barrier: once nothing is in flight, the
+        updates held in per-process accumulators (under the section 3.3
+        safety condition) and in the central accumulator are applied
+        directly to every view, bringing all processes to agreement.
+        """
+        updates: List[Tuple[Pointstamp, int]] = []
+        for node in self.nodes:
+            updates.extend(node.drain_buffer())
+        if self.central is not None:
+            updates.extend(self.central.drain_buffer())
+        merged = net_updates(updates)
+        if merged:
+            for view in self.views:
+                view.apply(merged)
+
+    def _rebuild_workers(self, busy_until: float = 0.0) -> None:
+        """Replace every worker object (global rollback after a kill).
+
+        Old workers are flagged dead so their already-scheduled events
+        become no-ops; vertices are re-bound to the replacements, which
+        start idle at ``busy_until`` (the recovery-ready time).
+        """
+        for worker in self.workers:
+            worker.dead = True
+        self.workers = [_Worker(self, index) for index in range(self.total_workers)]
+        for worker in self.workers:
+            worker.busy_until = busy_until
+        self._rebuild_process_index()
+        for (stage, index), vertex in self.vertices.items():
+            vertex._harness = self.workers[index]
+
+    def _restore_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Load a consistent cut into the (freshly rebuilt) cluster."""
+        by_index = {stage.index: stage for stage in self.graph.stages}
+        for (stage_index, worker_index), state in snapshot["vertices"].items():
+            self.vertices[(by_index[stage_index], worker_index)].restore(state)
+        for worker in self.workers:
+            worker.pending_notifications = dict(
+                snapshot["pending"].get(worker.index, {})
+            )
+            worker.pending_cleanups = dict(
+                snapshot["cleanups"].get(worker.index, {})
+            )
+        for node in self.nodes:
+            node.reset()
+        if self.central is not None:
+            self.central.reset()
+        occurrence = snapshot["occurrence"]
+        for view in self.views:
+            view.reset(occurrence)
+        for worker in self.workers:
+            worker.activate()
 
     def __repr__(self) -> str:
         return "ClusterComputation(%d procs x %d workers, mode=%s)" % (

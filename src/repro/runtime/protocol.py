@@ -121,6 +121,25 @@ class ProgressView:
         if self.on_change is not None and state.version != before:
             self.on_change()
 
+    def snapshot(self) -> Dict[Pointstamp, int]:
+        """The occurrence counts this view currently holds (a copy)."""
+        return dict(self.state.occurrence)
+
+    def reset(self, occurrence: Dict[Pointstamp, int]) -> None:
+        """Rebuild the view from checkpointed occurrence counts.
+
+        Used by failure recovery (section 3.4): every peer discards its
+        progress state and re-derives precursor counts and the frontier
+        from the counts recorded at the last consistent checkpoint.  The
+        path summaries and the shared could-result-in cache are reused —
+        they are properties of the (unchanged) dataflow graph.
+        """
+        state = self.state
+        self.state = ProgressState(state._summaries, cri_cache=state._cri_cache)
+        # Apply through the normal path so on_change fires and pending
+        # notifications deliverable under the restored frontier run.
+        self.apply([(p, d) for p, d in occurrence.items() if d])
+
     def unblocked(self, pointstamp: Pointstamp) -> bool:
         """True when no *other* active pointstamp could-result-in it.
 
@@ -265,6 +284,30 @@ class ProtocolNode:
             lambda: central.accumulate(updates, (self.process, seq)),
         )
 
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery support (section 3.4).
+    # ------------------------------------------------------------------
+
+    def drain_buffer(self) -> List[ProgressUpdate]:
+        """Surrender all withheld updates for a synchronous flush.
+
+        Valid only at a checkpoint barrier, when the network holds no
+        in-flight messages: every update this node sent has been applied
+        at every peer, so the in-flight ledgers are cleared rather than
+        waiting for acknowledgement rounds.
+        """
+        updates = list(self.buffer.items())
+        self.buffer.clear()
+        self._in_flight.clear()
+        self._in_flight_totals.clear()
+        return updates
+
+    def reset(self) -> None:
+        """Discard buffered and in-flight ledger state (failure recovery)."""
+        self.buffer.clear()
+        self._in_flight.clear()
+        self._in_flight_totals.clear()
+
     def receive(
         self,
         updates: List[ProgressUpdate],
@@ -327,6 +370,27 @@ class CentralAccumulator:
 
     def recheck(self) -> None:
         self._maybe_flush()
+
+    def drain_buffer(self) -> List[ProgressUpdate]:
+        """Surrender withheld updates for a checkpoint-barrier flush.
+
+        See :meth:`ProtocolNode.drain_buffer`; additionally drops the
+        covered-origin list — the origin nodes' ledgers are cleared by
+        the same barrier, so no acknowledgements are owed.
+        """
+        updates = list(self.buffer.items())
+        self.buffer.clear()
+        self._covered = []
+        self._in_flight.clear()
+        self._in_flight_totals.clear()
+        return updates
+
+    def reset(self) -> None:
+        """Discard accumulated and in-flight state (failure recovery)."""
+        self.buffer.clear()
+        self._covered = []
+        self._in_flight.clear()
+        self._in_flight_totals.clear()
 
     def _maybe_flush(self) -> None:
         if not self.buffer:

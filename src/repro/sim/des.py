@@ -28,6 +28,7 @@ class Simulator:
         self._background: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._events_executed = 0
+        self.in_event = False
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` seconds of virtual time."""
@@ -61,14 +62,18 @@ class Simulator:
         if not self._queue:
             return False
         horizon = self._queue[0][0]
-        while self._background and self._background[0][0] <= horizon:
-            time, _, callback = heapq.heappop(self._background)
+        self.in_event = True
+        try:
+            while self._background and self._background[0][0] <= horizon:
+                time, _, callback = heapq.heappop(self._background)
+                self.now = max(self.now, time)
+                callback()
+                horizon = self._queue[0][0]
+            time, _, callback = heapq.heappop(self._queue)
             self.now = max(self.now, time)
             callback()
-            horizon = self._queue[0][0]
-        time, _, callback = heapq.heappop(self._queue)
-        self.now = max(self.now, time)
-        callback()
+        finally:
+            self.in_event = False
         self._events_executed += 1
         return True
 
@@ -97,6 +102,17 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the earliest pending foreground event.
+
+        ``None`` when the queue is empty.  Used by processes that must
+        wait for the system to settle (e.g. the checkpoint quiescence
+        probe) to re-poll exactly when something next happens instead of
+        busy-waiting in virtual time.
+        """
+        return self._queue[0][0] if self._queue else None
 
     @property
     def events_executed(self) -> int:

@@ -99,6 +99,10 @@ class Network:
         self._ingress_free = [0.0] * num_processes
         self._fifo_last: Dict[Tuple[int, int], float] = {}
         self._gc_busy_until = [0.0] * num_processes
+        #: Messages sent but not yet delivered.  The checkpoint barrier
+        #: waits for this to reach zero; failure injection zeroes it.
+        self.in_flight = 0
+        self._generation = 0
         if config.gc_interval > 0:
             for process in range(num_processes):
                 self._schedule_gc(process)
@@ -145,9 +149,20 @@ class Network:
         wire_size = size + config.per_message_bytes
         self.stats.record(kind, wire_size)
         now = self.sim.now
+        self.in_flight += 1
+        generation = self._generation
+
+        def guarded_deliver() -> None:
+            # A failure between send and arrival tears the channel down
+            # (generation bump); the message is lost with the process.
+            if generation != self._generation:
+                return
+            self.in_flight -= 1
+            deliver()
+
         if src == dst:
             arrival = now + config.local_latency
-            self.sim.schedule_at(arrival, deliver)
+            self.sim.schedule_at(arrival, guarded_deliver)
             return arrival
         transfer = wire_size / config.bandwidth
         start = max(now, self._egress_free[src], self._gc_busy_until[src])
@@ -173,5 +188,26 @@ class Network:
         key = (src, dst)
         arrival = max(arrival, self._fifo_last.get(key, 0.0))
         self._fifo_last[key] = arrival
-        self.sim.schedule_at(arrival, deliver)
+        self.sim.schedule_at(arrival, guarded_deliver)
         return arrival
+
+    # ------------------------------------------------------------------
+    # Failure injection (section 3.4).
+    # ------------------------------------------------------------------
+
+    def teardown_inflight(self) -> None:
+        """Drop every message currently in flight.
+
+        Called when a process is killed: TCP connections to the dead
+        process reset, and because recovery rolls *all* processes back to
+        the last consistent checkpoint, surviving in-flight traffic
+        belongs to the abandoned execution too.  Already-scheduled
+        delivery events become no-ops via the generation check, and
+        transport state (NIC occupancy, per-pair FIFO ordering) resets
+        for the fresh connections of the recovered cluster.
+        """
+        self._generation += 1
+        self.in_flight = 0
+        self._egress_free = [0.0] * self.num_processes
+        self._ingress_free = [0.0] * self.num_processes
+        self._fifo_last.clear()
