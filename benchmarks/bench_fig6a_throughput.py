@@ -20,7 +20,7 @@ from bench_harness import format_table, report
 RECORDS_PER_COMPUTER = 50_000_000
 RECORD_BYTES = 8
 ITERATIONS = 3
-COMPUTERS = [2, 4, 8, 16, 32]
+COMPUTERS = [2, 4, 8, 16, 32, 64]
 
 
 class AllToAllVertex(Vertex):

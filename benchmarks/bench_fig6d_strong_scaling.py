@@ -11,17 +11,27 @@ speedups are virtual-time ratios versus one computer.
 
 from repro.lib import Stream
 from repro.algorithms import weakly_connected_components, wordcount_with_combiner
+from repro.obs import TraceSink
 from repro.runtime import ClusterComputation
 from repro.workloads import generate_corpus, uniform_random_graph
 
 from repro.runtime import CostModel
 
-from bench_harness import format_table, human_time, report
+from bench_harness import (
+    critical_path_lines,
+    format_table,
+    human_time,
+    profile_lines,
+    report,
+)
 
-COMPUTERS = [1, 2, 4, 8, 16, 32]
+COMPUTERS = [1, 2, 4, 8, 16, 32, 64]
 # A compact vocabulary keeps combiners effective at high parallelism
-# (the paper's corpus has vastly more data than distinct words).
-CORPUS = generate_corpus(16000, words_per_line=8, vocabulary_size=200, seed=2)
+# (the paper's corpus has vastly more data than distinct words), and the
+# corpus is big enough that 128 workers still have real work per epoch —
+# with less, fixed progress-protocol overhead flattens the curve well
+# before the paper's knee.
+CORPUS = generate_corpus(64000, words_per_line=8, vocabulary_size=200, seed=2)
 GRAPH = uniform_random_graph(2000, 4000, seed=2)
 
 #: Each simulated record stands for a block of ~100 records of the
@@ -31,13 +41,17 @@ GRAPH = uniform_random_graph(2000, 4000, seed=2)
 BLOCKED = CostModel(per_record_cost=2e-5, record_bytes=800)
 
 
-def run_app(builder, records, num_computers: int) -> float:
+def run_app(builder, records, num_computers: int, trace: bool = False):
     comp = ClusterComputation(
         num_processes=num_computers,
         workers_per_process=2,
         progress_mode="local+global",
         cost_model=BLOCKED,
     )
+    sink = None
+    if trace:
+        sink = TraceSink()
+        comp.attach_trace_sink(sink)
     inp = comp.new_input()
     builder(Stream.from_input(inp)).subscribe(lambda t, recs: None)
     comp.build()
@@ -45,22 +59,33 @@ def run_app(builder, records, num_computers: int) -> float:
     inp.on_completed()
     comp.run()
     assert comp.drained(), comp.debug_state()
-    return comp.now
+    return comp, sink
 
 
 def test_fig6d_strong_scaling(benchmark):
     def experiment():
         results = {}
+        extras = []
+        top = COMPUTERS[-1]
         for computers in COMPUTERS:
-            results[computers] = {
-                # Combiners keep the Zipf head from serialising on one
-                # worker — the paper's MapReduce WordCount does the same.
-                "wordcount": run_app(wordcount_with_combiner, CORPUS, computers),
-                "wcc": run_app(weakly_connected_components, GRAPH, computers),
-            }
-        return results
+            # Combiners keep the Zipf head from serialising on one
+            # worker — the paper's MapReduce WordCount does the same.
+            wc, _ = run_app(wordcount_with_combiner, CORPUS, computers)
+            # Trace the flagship 64-computer WCC run: its critical path
+            # and DES self-profile go into the report.
+            wcc, sink = run_app(
+                weakly_connected_components, GRAPH, computers,
+                trace=computers == top,
+            )
+            results[computers] = {"wordcount": wc.now, "wcc": wcc.now}
+            if computers == top:
+                extras.append("-- wcc @ %d computers, DES self-profile --" % top)
+                extras.extend(profile_lines(wcc))
+                extras.append("-- wcc @ %d computers, critical path --" % top)
+                extras.extend(critical_path_lines(sink))
+        return results, extras
 
-    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    results, extras = benchmark.pedantic(experiment, rounds=1, iterations=1)
 
     base = results[1]
     rows = []
@@ -79,7 +104,8 @@ def test_fig6d_strong_scaling(benchmark):
         "fig6d_strong_scaling",
         format_table(
             ["computers", "wordcount", "speedup", "wcc", "speedup"], rows
-        ),
+        )
+        + extras,
     )
 
     top = COMPUTERS[-1]

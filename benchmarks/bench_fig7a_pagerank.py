@@ -21,7 +21,7 @@ the abstraction costs the paper describes.
 from repro.lib import Stream
 from repro.algorithms import pagerank_edge, pagerank_pregel, pagerank_vertex
 from repro.baselines import PowerGraphEngine
-from repro.runtime import ClusterComputation, CostModel
+from repro.runtime import ClusterComputation
 from repro.workloads import power_law_graph
 
 from bench_harness import format_table, human_time, report

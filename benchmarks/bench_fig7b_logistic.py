@@ -14,7 +14,6 @@ implementations from :mod:`repro.lib.allreduce`, confirming the
 data-parallel variant wins end-to-end with identical results.
 """
 
-import numpy as np
 
 from repro.lib import Stream, allreduce, tree_allreduce
 from repro.algorithms import logistic_regression, make_dataset

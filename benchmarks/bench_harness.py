@@ -12,9 +12,50 @@ models, not the authors' hardware — EXPERIMENTS.md records both sides.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
+
+from repro.obs import TraceSink, collect_profile, critical_path
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: Set REPRO_TRACE=1 to record a full event trace during benchmark runs
+#: (and REPRO_TRACE_DIR to also dump the JSONL next to the reports).
+TRACE_ENV = "REPRO_TRACE"
+
+
+def tracing_enabled() -> bool:
+    return os.environ.get(TRACE_ENV, "") not in ("", "0")
+
+
+def attach_tracing(computation, enabled: Optional[bool] = None) -> Optional[TraceSink]:
+    """Attach a fresh TraceSink when tracing is on; None otherwise."""
+    if enabled is None:
+        enabled = tracing_enabled()
+    if not enabled:
+        return None
+    sink = TraceSink()
+    computation.attach_trace_sink(sink)
+    return sink
+
+
+def profile_lines(computation) -> List[str]:
+    """The DES self-profile of a finished run (repro.obs.profile)."""
+    return collect_profile(computation).lines()
+
+
+def critical_path_lines(sink: Optional[TraceSink], top_k: int = 5) -> List[str]:
+    """SnailTrail-style critical-path summary of a recorded trace."""
+    if sink is None or len(sink) == 0:
+        return []
+    summary = critical_path(list(sink), top_k=top_k)
+    lines = summary.lines()
+    directory = os.environ.get("%s_DIR" % TRACE_ENV, "")
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "trace-%06d.jsonl" % len(sink))
+        sink.dump_jsonl(path)
+        lines.append("trace written to %s" % path)
+    return lines
 
 
 def report(name: str, lines: Iterable[str]) -> str:

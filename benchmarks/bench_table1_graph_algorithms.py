@@ -25,7 +25,7 @@ from repro.algorithms import (
     weakly_connected_components,
 )
 from repro.baselines import DRYADLINQ, PDW, SHS, BatchIterativeEngine
-from repro.runtime import ClusterComputation, CostModel
+from repro.runtime import ClusterComputation
 from repro.workloads import power_law_graph
 
 from bench_harness import format_table, human_time, report

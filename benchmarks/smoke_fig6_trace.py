@@ -1,0 +1,96 @@
+"""Tracing-on smoke run of the Figure 6 workloads at a tiny preset.
+
+Runs WordCount-with-combiner and WCC on a 4-computer simulated cluster
+with a :class:`repro.obs.TraceSink` attached, then exercises the whole
+observability pipeline: JSONL round-trip, per-stage timelines, the DES
+self-profile and the SnailTrail-style critical-path summary.  Finishes
+in a couple of seconds — CI runs it on every push (`python
+benchmarks/smoke_fig6_trace.py`) so a regression in the tracing hooks or
+the analyses cannot hide behind the tracing-off default.
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.lib import Stream  # noqa: E402
+from repro.algorithms import (  # noqa: E402
+    weakly_connected_components,
+    wordcount_with_combiner,
+)
+from repro.obs import (  # noqa: E402
+    TraceSink,
+    collect_profile,
+    critical_path,
+    event_counts,
+    frontier_trace,
+    stage_timelines,
+)
+from repro.runtime import ClusterComputation, CostModel  # noqa: E402
+from repro.workloads import generate_corpus, uniform_random_graph  # noqa: E402
+
+COMPUTERS = 4
+CORPUS = generate_corpus(400, words_per_line=8, vocabulary_size=100, seed=2)
+GRAPH = uniform_random_graph(120, 240, seed=2)
+BLOCKED = CostModel(per_record_cost=2e-5, record_bytes=800)
+
+
+def run_traced(name, builder, records):
+    comp = ClusterComputation(
+        num_processes=COMPUTERS,
+        workers_per_process=2,
+        progress_mode="local+global",
+        cost_model=BLOCKED,
+    )
+    sink = TraceSink()
+    comp.attach_trace_sink(sink)
+    inp = comp.new_input()
+    builder(Stream.from_input(inp)).subscribe(lambda t, recs: None)
+    comp.build()
+    inp.on_next(records)
+    inp.on_completed()
+    comp.run()
+    assert comp.drained(), comp.debug_state()
+
+    events = list(sink)
+    assert events, "tracing was on; the run must have produced events"
+    counts = event_counts(events)
+    for kind in ("input", "activation", "deliver", "frontier"):
+        assert counts.get(kind, 0) > 0, "missing %r events: %r" % (kind, counts)
+
+    # JSONL round-trip: reloaded events must be identical and produce
+    # the identical critical-path summary.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "%s.jsonl" % name)
+        sink.dump_jsonl(path)
+        reloaded = TraceSink.load_jsonl(path)
+    assert list(reloaded) == events
+    summary = critical_path(events)
+    assert critical_path(list(reloaded)).lines() == summary.lines()
+    assert summary.makespan > 0
+
+    timelines = stage_timelines(events)
+    assert timelines, "per-stage timelines must not be empty"
+    assert frontier_trace(events), "frontier trace must not be empty"
+
+    profile = collect_profile(comp)
+    assert profile.events_executed == comp.sim.events_executed
+
+    print("== %s @ %d computers (traced: %d events) ==" % (name, COMPUTERS, len(events)))
+    for line in profile.lines():
+        print(line)
+    for line in summary.lines():
+        print(line)
+    print()
+
+
+def main():
+    run_traced("wordcount", wordcount_with_combiner, CORPUS)
+    run_traced("wcc", weakly_connected_components, GRAPH)
+    print("smoke_fig6_trace: OK")
+
+
+if __name__ == "__main__":
+    main()

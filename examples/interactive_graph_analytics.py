@@ -14,7 +14,7 @@ Run:  python examples/interactive_graph_analytics.py
 from repro import Computation
 from repro.lib import Stream
 from repro.algorithms import hashtag_component_app
-from repro.workloads import Tweet, TweetGenerator, TweetStreamConfig
+from repro.workloads import TweetGenerator, TweetStreamConfig
 
 
 def main():

@@ -38,6 +38,8 @@ from .core import (
     Computation,
     InputHandle,
     Pointstamp,
+    RuntimeDebugState,
+    TimelyRuntime,
     Timestamp,
     Vertex,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "Computation",
     "InputHandle",
     "Pointstamp",
+    "RuntimeDebugState",
+    "TimelyRuntime",
     "Timestamp",
     "Vertex",
     "__version__",

@@ -24,11 +24,11 @@ built on the low-level API.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
-from ..lib.incremental import Collection, consolidate_diffs
+from ..lib.incremental import Collection
 from ..lib.stream import Stream
 from ..workloads.tweets import Tweet
 

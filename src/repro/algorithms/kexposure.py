@@ -17,7 +17,6 @@ epoch's output reflects exactly the tweets ingested in that epoch.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from ..lib.incremental import Collection
 from ..lib.stream import Stream

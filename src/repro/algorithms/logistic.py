@@ -16,13 +16,13 @@ Figure 7b experiment measures.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
-from ..lib.allreduce import allreduce, tree_allreduce
+from ..lib.allreduce import allreduce
 from ..lib.stream import Loop, Stream
 
 

@@ -17,7 +17,7 @@ wave per PageRank iteration.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex

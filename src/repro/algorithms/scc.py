@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Set, Tuple
 
-from ..core.computation import Computation
 from ..lib.stream import Stream
 from .connectivity import label_propagation
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from ..lib.stream import Stream, hash_partitioner
+from ..lib.stream import Stream
 
 
 def wordcount(lines: Stream, name: str = "wordcount") -> Stream:

@@ -28,8 +28,7 @@ sparse iterations win by 1-3 orders of magnitude), not absolute values.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 Edge = Tuple[Any, Any]

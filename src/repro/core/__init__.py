@@ -10,6 +10,7 @@ in the frontier of active pointstamps.
 
 from .computation import Computation, InputHandle, TimestampViolation
 from .dot import to_dot
+from .runtime_api import RuntimeDebugState, TimelyRuntime
 from .graph import (
     Connector,
     DataflowGraph,
@@ -36,8 +37,10 @@ __all__ = [
     "PathSummary",
     "Pointstamp",
     "ProgressState",
+    "RuntimeDebugState",
     "Stage",
     "StageKind",
+    "TimelyRuntime",
     "Timestamp",
     "TimestampViolation",
     "Vertex",

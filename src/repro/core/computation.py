@@ -17,10 +17,13 @@ examples and correctness tests; the simulated distributed runtime in
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .graph import Connector, DataflowGraph, GraphValidationError, LoopContext, Stage, StageKind
+from ..obs.trace import TraceEvent, TraceSink, timestamp_tuple
+from .graph import Connector, DataflowGraph, LoopContext, Stage, StageKind
 from .progress import Pointstamp, ProgressState
+from .runtime_api import RuntimeDebugState, TimelyRuntime
 from .timestamp import Timestamp
 from .vertex import ForwardingVertex, Vertex
 
@@ -62,7 +65,7 @@ class InputHandle:
         self.closed = True
 
 
-class Computation:
+class Computation(TimelyRuntime):
     """A timely dataflow computation on the single-threaded runtime.
 
     ``eager_delivery`` enables section 3.2's cut-through dispatch: a
@@ -94,6 +97,44 @@ class Computation:
         #: Number of delivered messages / notifications (for inspection).
         self.delivered_messages = 0
         self.delivered_notifications = 0
+        #: Attached observability sink (None = tracing off; the hot
+        #: paths then perform a single identity test and nothing else).
+        self._trace: Optional[TraceSink] = None
+        #: Frontier version at the last emitted frontier event.
+        self._trace_version = -1
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs).
+    # ------------------------------------------------------------------
+
+    def attach_trace_sink(self, sink: Optional[TraceSink]) -> None:
+        """Emit trace events into ``sink`` from now on (None detaches)."""
+        self._trace = sink
+
+    def _logical_time(self) -> float:
+        """The reference runtime has no virtual clock; trace events are
+        stamped with the logical delivery counter instead."""
+        return float(self.delivered_messages + self.delivered_notifications)
+
+    def _trace_frontier(self, trace: TraceSink) -> None:
+        if self.progress.version == self._trace_version:
+            return
+        self._trace_version = self.progress.version
+        frontier = self.progress.frontier()
+        epochs = [p.timestamp.epoch for p in frontier]
+        trace.emit(
+            TraceEvent(
+                "frontier",
+                self._logical_time(),
+                0.0,
+                perf_counter(),
+                0,
+                0,
+                "",
+                (),
+                (len(self.progress), len(frontier), min(epochs) if epochs else -1),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Graph construction.
@@ -214,6 +255,21 @@ class Computation:
         """Section 2.3: deliver epoch data, then advance the input's
         active pointstamp from ``epoch`` to ``epoch + 1``."""
         timestamp = Timestamp(epoch)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "input",
+                    self._logical_time(),
+                    0.0,
+                    perf_counter(),
+                    0,
+                    0,
+                    stage.name,
+                    (epoch,),
+                    (len(records),),
+                )
+            )
         if records:
             self._enqueue_output(stage, 0, records, timestamp)
         self.progress.update(Pointstamp(Timestamp(epoch + 1), stage), +1)
@@ -293,6 +349,8 @@ class Computation:
         self, connector: Connector, records: List[Any], timestamp: Timestamp
     ) -> None:
         vertex = self.vertices[connector.dst]
+        trace = self._trace
+        wall = perf_counter() if trace is not None else 0.0
         self._frame.append((vertex, timestamp, True))
         self._executing[vertex] = self._executing.get(vertex, 0) + 1
         try:
@@ -306,6 +364,21 @@ class Computation:
                 del self._executing[vertex]
         self.progress.update(Pointstamp(timestamp, connector), -1)
         self.delivered_messages += 1
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "activation",
+                    self._logical_time(),
+                    perf_counter() - wall,
+                    wall,
+                    0,
+                    0,
+                    connector.dst.name,
+                    timestamp_tuple(timestamp),
+                    (len(records), connector.dst_port),
+                )
+            )
+            self._trace_frontier(trace)
 
     # ------------------------------------------------------------------
     # Scheduling.
@@ -338,6 +411,8 @@ class Computation:
         else:
             del self._pending_notifications[pointstamp]
         vertex = self.vertices[pointstamp.location]
+        trace = self._trace
+        wall = perf_counter() if trace is not None else 0.0
         self._frame.append((vertex, pointstamp.timestamp, True))
         try:
             vertex.on_notify(pointstamp.timestamp)
@@ -345,6 +420,21 @@ class Computation:
             self._frame.pop()
         self.progress.update(pointstamp, -1)
         self.delivered_notifications += 1
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "notification",
+                    self._logical_time(),
+                    perf_counter() - wall,
+                    wall,
+                    0,
+                    0,
+                    pointstamp.location.name,
+                    timestamp_tuple(pointstamp.timestamp),
+                    (),
+                )
+            )
+            self._trace_frontier(trace)
         return True
 
     def _deliver_cleanup(self) -> bool:
@@ -369,16 +459,40 @@ class Computation:
         else:
             del self._pending_cleanups[pointstamp]
         vertex = self.vertices[pointstamp.location]
+        trace = self._trace
+        wall = perf_counter() if trace is not None else 0.0
         self._frame.append((vertex, pointstamp.timestamp, False))
         try:
             vertex.on_notify(pointstamp.timestamp)
         finally:
             self._frame.pop()
         self.delivered_notifications += 1
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "cleanup",
+                    self._logical_time(),
+                    perf_counter() - wall,
+                    wall,
+                    0,
+                    0,
+                    pointstamp.location.name,
+                    timestamp_tuple(pointstamp.timestamp),
+                    (),
+                )
+            )
         return True
 
-    def run(self, max_steps: Optional[int] = None) -> int:
-        """Deliver events until quiescent; returns the number of steps."""
+    def run(
+        self, max_steps: Optional[int] = None, until: Optional[float] = None
+    ) -> int:
+        """Deliver events until quiescent; returns the number of steps.
+
+        ``until`` is accepted for signature compatibility with the
+        simulated cluster runtime (the unified :class:`TimelyRuntime`
+        surface); the reference runtime has no virtual clock, so it is
+        a documented no-op.
+        """
         steps = 0
         while self.step():
             steps += 1
@@ -393,6 +507,32 @@ class Computation:
     def frontier(self) -> List[Pointstamp]:
         self._check_built()
         return self.progress.frontier()
+
+    def debug_state(self) -> RuntimeDebugState:
+        """A structured snapshot of runtime state (``str()``-able)."""
+        self._check_built()
+        pending = sum(self._pending_notifications.values()) + sum(
+            self._pending_cleanups.values()
+        )
+        frontier = tuple(
+            sorted(timestamp_tuple(p.timestamp) for p in self.progress.frontier())
+        )
+        text = "queued=%d pending_notifications=%d delivered=%d+%d frontier=%r" % (
+            len(self._message_queue),
+            pending,
+            self.delivered_messages,
+            self.delivered_notifications,
+            list(frontier),
+        )
+        return RuntimeDebugState(
+            runtime=type(self).__name__,
+            delivered_messages=self.delivered_messages,
+            delivered_notifications=self.delivered_notifications,
+            queued_messages=len(self._message_queue),
+            pending_notifications=pending,
+            frontier=frontier,
+            text=text,
+        )
 
     # ------------------------------------------------------------------
     # Fault tolerance (section 3.4).
@@ -414,6 +554,21 @@ class Computation:
         while self._message_queue:
             connector, records, timestamp = self._message_queue.popleft()
             self._deliver_message(connector, records, timestamp)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "checkpoint",
+                    self._logical_time(),
+                    0.0,
+                    perf_counter(),
+                    -1,
+                    -1,
+                    "",
+                    (),
+                    (len(self.vertices),),
+                )
+            )
         return {
             "vertices": {
                 stage.index: vertex.checkpoint()
@@ -445,6 +600,23 @@ class Computation:
         for handle, (epoch, closed) in zip(self.inputs, snapshot["epochs"]):
             handle.next_epoch = epoch
             handle.closed = closed
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "restore",
+                    self._logical_time(),
+                    0.0,
+                    perf_counter(),
+                    -1,
+                    -1,
+                    "",
+                    (),
+                    (len(snapshot["vertices"]),),
+                )
+            )
+            self._trace_version = -1
+            self._trace_frontier(trace)
 
     def __repr__(self) -> str:
         return "Computation(%r, built=%s)" % (self.graph, self._built)

@@ -19,7 +19,7 @@ the tweet stream of Figure 1, where mentions only accumulate).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
@@ -489,7 +489,7 @@ class Collection:
         other: "Collection",
         left_key: Callable[[Any], Any],
         right_key: Callable[[Any], Any],
-        result: Callable[[Any, Any], Any] = lambda l, r: (l, r),
+        result: Callable[[Any, Any], Any] = lambda lhs, rhs: (lhs, rhs),
         name: str = "inc_join",
     ) -> "Collection":
         stage = self.stream._add_stage(

@@ -17,7 +17,7 @@ composable with incremental and iterative computation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex

@@ -31,7 +31,7 @@ re-emitted if reactivated) or at ``max_supersteps``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex

@@ -1,0 +1,48 @@
+"""Observability for the timely dataflow runtimes (`repro.obs`).
+
+Three layers, all optional and zero-overhead when unused:
+
+- :mod:`repro.obs.trace` — a :class:`TraceSink` event log.  Both
+  runtimes accept the same sink via
+  :meth:`repro.core.TimelyRuntime.attach_trace_sink`; hook points in the
+  scheduler, the simulated cluster, the network model and the
+  checkpoint/recovery cycle emit :class:`TraceEvent` records carrying
+  simulated-time and wall-time stamps.  When no sink is attached the
+  hot paths perform a single attribute test and allocate nothing.
+- :mod:`repro.obs.metrics` — aggregations over a recorded trace:
+  per-stage and per-worker timelines, frontier-progress traces, and a
+  SnailTrail-style critical-path summary of the simulated cluster.
+- :mod:`repro.obs.profile` — a self-profile of the discrete-event
+  simulation itself (event counts, heap churn, cost-model call
+  tallies), collected from counters the DES maintains unconditionally.
+"""
+
+from .metrics import (
+    CriticalPathSummary,
+    StageTimeline,
+    WorkerTimeline,
+    critical_path,
+    event_counts,
+    frontier_trace,
+    stage_timelines,
+    worker_timelines,
+)
+from .profile import DESProfile, collect_profile
+from .trace import ACTIVITY_TYPES, TraceEvent, TraceSink, timestamp_tuple
+
+__all__ = [
+    "ACTIVITY_TYPES",
+    "CriticalPathSummary",
+    "DESProfile",
+    "StageTimeline",
+    "TraceEvent",
+    "TraceSink",
+    "WorkerTimeline",
+    "collect_profile",
+    "critical_path",
+    "event_counts",
+    "frontier_trace",
+    "stage_timelines",
+    "timestamp_tuple",
+    "worker_timelines",
+]

@@ -1,0 +1,256 @@
+"""Aggregations over a recorded trace (timelines, critical path).
+
+Everything here is a pure, deterministic function of the event list, so
+the same summary falls out of a live :class:`repro.obs.TraceSink` and
+of one reloaded from disk — the round-trip property the tests pin down.
+
+The critical-path summary follows the SnailTrail construction
+(Sandstede, *Online Analysis of Distributed Dataflows with Timely
+Dataflow*): walk backwards from the activity that completes the
+computation, at each step attributing the elapsed interval to
+*processing* (a vertex callback span), *communication* (a message batch
+in flight between workers) or *waiting* (a delivered batch sitting in a
+worker queue, or an idle gap between callbacks on one worker).  The
+walk uses the worker-level ``activation``/``notification`` spans and
+``deliver`` events the cluster runtime emits; causal links between a
+delivery and the producing callback are matched by commit time, which
+is exact for the discrete-event cluster because a callback's sends are
+dispatched at its finish time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .trace import TraceEvent
+
+#: Span kinds that occupy a worker (the "processing" activities).
+_SPAN_KINDS = ("activation", "notification", "cleanup")
+
+
+def event_counts(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Events per kind."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+@dataclass
+class StageTimeline:
+    """Per-stage execution summary."""
+
+    stage: str
+    activations: int = 0
+    notifications: int = 0
+    records: int = 0
+    busy: float = 0.0
+    workers: Tuple[int, ...] = ()
+    first_t: float = 0.0
+    last_t: float = 0.0
+
+
+def stage_timelines(events: Iterable[TraceEvent]) -> Dict[str, StageTimeline]:
+    """Aggregate callback spans by stage (sorted worker sets)."""
+    out: Dict[str, StageTimeline] = {}
+    seen_workers: Dict[str, set] = {}
+    for event in events:
+        if event.kind not in _SPAN_KINDS:
+            continue
+        line = out.get(event.stage)
+        if line is None:
+            line = out[event.stage] = StageTimeline(
+                event.stage, first_t=event.t, last_t=event.finish
+            )
+            seen_workers[event.stage] = set()
+        if event.kind == "activation":
+            line.activations += 1
+            if event.detail:
+                line.records += event.detail[0]
+        else:
+            line.notifications += 1
+        line.busy += event.dur
+        seen_workers[event.stage].add(event.worker)
+        line.first_t = min(line.first_t, event.t)
+        line.last_t = max(line.last_t, event.finish)
+    for stage, line in out.items():
+        line.workers = tuple(sorted(seen_workers[stage]))
+    return out
+
+
+@dataclass
+class WorkerTimeline:
+    """Per-worker execution summary."""
+
+    worker: int
+    process: int = -1
+    activations: int = 0
+    notifications: int = 0
+    busy: float = 0.0
+    first_t: float = 0.0
+    last_t: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        span = self.last_t - self.first_t
+        return self.busy / span if span > 0 else 0.0
+
+
+def worker_timelines(events: Iterable[TraceEvent]) -> Dict[int, WorkerTimeline]:
+    out: Dict[int, WorkerTimeline] = {}
+    for event in events:
+        if event.kind not in _SPAN_KINDS or event.worker < 0:
+            continue
+        line = out.get(event.worker)
+        if line is None:
+            line = out[event.worker] = WorkerTimeline(
+                event.worker, event.process, first_t=event.t, last_t=event.finish
+            )
+        if event.kind == "activation":
+            line.activations += 1
+        else:
+            line.notifications += 1
+        line.busy += event.dur
+        line.first_t = min(line.first_t, event.t)
+        line.last_t = max(line.last_t, event.finish)
+    return out
+
+
+def frontier_trace(events: Iterable[TraceEvent]) -> List[Tuple[float, Tuple]]:
+    """``(t, detail)`` for every frontier-progress event, in order."""
+    return [(event.t, event.detail) for event in events if event.kind == "frontier"]
+
+
+@dataclass
+class CriticalPathSummary:
+    """A SnailTrail-style breakdown of the end-to-end critical path."""
+
+    #: Virtual time spanned by the traced computation (first span start
+    #: to last span finish).
+    makespan: float = 0.0
+    #: Virtual time covered by the reconstructed path.
+    path_time: float = 0.0
+    #: Callback execution time on the path.
+    processing: float = 0.0
+    #: Message flight time on the path.
+    communication: float = 0.0
+    #: Queueing/idle time on the path.
+    waiting: float = 0.0
+    #: Number of path segments walked.
+    segments: int = 0
+    #: ``(stage, processing seconds)`` for the heaviest path stages.
+    top_stages: Tuple[Tuple[str, float], ...] = ()
+    #: Distinct workers visited by the path.
+    workers_visited: int = 0
+
+    def lines(self) -> List[str]:
+        """Human-readable rendering for benchmark reports."""
+        def pct(x: float) -> str:
+            return "%4.1f%%" % (100.0 * x / self.path_time) if self.path_time else "n/a"
+
+        out = [
+            "critical path: %d segments over %.6fs (makespan %.6fs)"
+            % (self.segments, self.path_time, self.makespan),
+            "  processing    %10.6fs  %s" % (self.processing, pct(self.processing)),
+            "  communication %10.6fs  %s" % (self.communication, pct(self.communication)),
+            "  waiting       %10.6fs  %s" % (self.waiting, pct(self.waiting)),
+        ]
+        for stage, seconds in self.top_stages:
+            out.append("  on-path stage %-24s %.6fs" % (stage, seconds))
+        return out
+
+
+def critical_path(
+    events: Iterable[TraceEvent], top_k: int = 5
+) -> CriticalPathSummary:
+    """Reconstruct the critical path of a traced cluster run.
+
+    Walks backwards from the last-finishing callback span.  The
+    predecessor of a span starting at ``s`` on worker ``w`` is the
+    latest batch delivered to ``w`` at or before ``s`` (queue wait +
+    flight time), whose producer is the callback on the source worker
+    that committed at the batch's send time; with no candidate delivery
+    the walk falls through to the previous callback on the same worker
+    (pure waiting).  Deterministic: ties break on (finish, t, worker).
+    """
+    spans: Dict[int, List[TraceEvent]] = {}
+    delivers: Dict[int, List[TraceEvent]] = {}
+    first_t: Optional[float] = None
+    last_finish: Optional[float] = None
+    for event in events:
+        if event.kind in _SPAN_KINDS:
+            spans.setdefault(event.worker, []).append(event)
+            first_t = event.t if first_t is None else min(first_t, event.t)
+            last_finish = (
+                event.finish if last_finish is None else max(last_finish, event.finish)
+            )
+        elif event.kind == "deliver":
+            delivers.setdefault(event.worker, []).append(event)
+    if not spans:
+        return CriticalPathSummary()
+    for listing in spans.values():
+        listing.sort(key=lambda e: (e.finish, e.t))
+    for listing in delivers.values():
+        listing.sort(key=lambda e: (e.t, e.wall))
+    span_finishes = {w: [e.finish for e in lst] for w, lst in spans.items()}
+    deliver_times = {w: [e.t for e in lst] for w, lst in delivers.items()}
+
+    def span_before(worker: int, time: float) -> Optional[TraceEvent]:
+        listing = spans.get(worker)
+        if not listing:
+            return None
+        index = bisect_right(span_finishes[worker], time)
+        return listing[index - 1] if index else None
+
+    def deliver_before(worker: int, time: float) -> Optional[TraceEvent]:
+        listing = delivers.get(worker)
+        if not listing:
+            return None
+        index = bisect_right(deliver_times[worker], time)
+        return listing[index - 1] if index else None
+
+    current = max(
+        (e for lst in spans.values() for e in lst),
+        key=lambda e: (e.finish, e.t, e.worker),
+    )
+    summary = CriticalPathSummary(makespan=(last_finish or 0.0) - (first_t or 0.0))
+    stage_seconds: Dict[str, float] = {}
+    visited_workers = set()
+    budget = sum(len(lst) for lst in spans.values()) + sum(
+        len(lst) for lst in delivers.values()
+    )
+    while current is not None and budget > 0:
+        budget -= 1
+        summary.segments += 1
+        summary.processing += current.dur
+        stage_seconds[current.stage] = stage_seconds.get(current.stage, 0.0) + current.dur
+        visited_workers.add(current.worker)
+        start = current.t
+        delivery = deliver_before(current.worker, start)
+        nxt: Optional[TraceEvent] = None
+        if delivery is not None:
+            sent = delivery.t - delivery.dur
+            producer = span_before(
+                delivery.detail[0] if delivery.detail else -1, sent + 1e-15
+            )
+            if producer is not None and producer.finish <= start:
+                summary.waiting += start - delivery.t
+                summary.communication += delivery.dur
+                summary.waiting += max(0.0, sent - producer.finish)
+                nxt = producer
+        if nxt is None:
+            previous = span_before(current.worker, start)
+            if previous is not None and previous is not current:
+                summary.waiting += max(0.0, start - previous.finish)
+                nxt = previous
+        if nxt is current:
+            break
+        current = nxt
+    summary.path_time = summary.processing + summary.communication + summary.waiting
+    summary.workers_visited = len(visited_workers)
+    summary.top_stages = tuple(
+        sorted(stage_seconds.items(), key=lambda item: (-item[1], item[0]))[:top_k]
+    )
+    return summary

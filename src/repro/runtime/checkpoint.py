@@ -49,7 +49,10 @@ each (sink, timestamp) batch exactly once.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..obs.trace import TraceEvent
 
 #: Recovery placement policies.
 RECOVERY_POLICIES = ("restart", "reassign")
@@ -173,7 +176,7 @@ class RecoveryManager:
         if next_time is None:
             raise RuntimeError(
                 "checkpoint barrier cannot reach quiescence; cluster state:\n"
-                + self.cluster.debug_state()
+                + str(self.cluster.debug_state())
             )
         self._schedule_probe(at=next_time)
 
@@ -205,6 +208,21 @@ class RecoveryManager:
             # durable; advance the clock to the write's completion even
             # if no further work exists.
             cluster.sim.schedule_at(resume, lambda: None)
+        trace = cluster._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "checkpoint",
+                    now,
+                    duration,
+                    perf_counter(),
+                    -1,
+                    -1,
+                    "",
+                    (),
+                    (self.checkpoint_count, self.released),
+                )
+            )
         self.paused = False
         self.pump()
         return self.snapshot
@@ -228,7 +246,8 @@ class RecoveryManager:
             if view.state.occurrence != occurrence:
                 raise RuntimeError(
                     "progress views disagree at a checkpoint barrier; "
-                    "the protocol flush is incomplete:\n" + cluster.debug_state()
+                    "the protocol flush is incomplete:\n"
+                    + str(cluster.debug_state())
                 )
         return {
             "time": cluster.sim.now,
@@ -334,6 +353,21 @@ class RecoveryManager:
             ready += ft.state_bytes_per_worker * most / ft.disk_bandwidth
         if ft.mode == "logging":
             ready += (self.logged_bytes - self._logged_at_snapshot) / ft.disk_bandwidth
+        trace = cluster._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "failure",
+                    now,
+                    ready - now,
+                    perf_counter(),
+                    -1,
+                    process,
+                    "",
+                    (),
+                    (policy, len(self.journal) - snapshot["journal_released"]),
+                )
+            )
         self._restore_and_replay(snapshot, ready)
         self.failures.append(
             {
@@ -358,6 +392,21 @@ class RecoveryManager:
         cluster = self.cluster
         self._generation += 1  # cancel any pending checkpoint probe
         self.paused = False
+        trace = cluster._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "restore",
+                    cluster.sim.now,
+                    max(0.0, ready - cluster.sim.now),
+                    perf_counter(),
+                    -1,
+                    -1,
+                    "",
+                    (),
+                    (snapshot["time"], snapshot["journal_released"]),
+                )
+            )
         cluster.network.teardown_inflight()
         cluster._rebuild_workers(busy_until=ready)
         cluster._restore_snapshot(snapshot)

@@ -19,15 +19,19 @@ property — never precedes the true global frontier.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.computation import Computation, TimestampViolation
 from ..core.graph import Connector, Stage, StageKind
 from ..core.progress import Pointstamp
+from ..core.runtime_api import RuntimeDebugState
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
+from ..obs.trace import TraceEvent, TraceSink, timestamp_tuple
 from ..sim.des import Simulator
 from ..sim.network import Network, NetworkConfig
 from .checkpoint import RECOVERY_POLICIES, RecoveryManager
@@ -38,7 +42,7 @@ from .protocol import (
     net_updates,
     wire_size,
 )
-from .synthetic import SyntheticRecords, batch_bytes, record_count
+from .synthetic import batch_bytes, record_count
 
 
 @dataclass
@@ -139,7 +143,9 @@ class _Worker:
         self._frame_stage: Optional[Stage] = None
         self._frame_capability = True
         self._updates: Optional[List[Tuple[Pointstamp, int]]] = None
-        self._dispatches: Optional[List[Tuple[Connector, int, List[Any], Timestamp]]] = None
+        #: (connector, dest, batch, out_time) from send(); _step's
+        #: serialization pass appends the precomputed remote batch size.
+        self._dispatches: Optional[List[Tuple]] = None
         self.delivered_messages = 0
         self.delivered_notifications = 0
 
@@ -217,10 +223,28 @@ class _Worker:
         records: List[Any],
         timestamp: Timestamp,
         remote_bytes: int = 0,
+        src: int = -1,
+        sent: float = -1.0,
     ) -> None:
         if self.dead:
             return  # message addressed to a lost worker; replay covers it
         self.queue.append((connector, records, timestamp, remote_bytes))
+        trace = self.cluster._trace
+        if trace is not None:
+            now = self.cluster.sim.now
+            trace.emit(
+                TraceEvent(
+                    "deliver",
+                    now,
+                    now - sent if sent >= 0.0 else 0.0,
+                    perf_counter(),
+                    self.index,
+                    self.process,
+                    connector.dst.name,
+                    timestamp_tuple(timestamp),
+                    (src, record_count(records)),
+                )
+            )
         self.activate()
 
     def activate(self) -> None:
@@ -278,6 +302,9 @@ class _Worker:
         self._updates = []
         self._dispatches = []
         cost = 0.0
+        trace = cluster._trace
+        wall = perf_counter() if trace is not None else 0.0
+        span = None
         if self.queue:
             if cluster.scheduling == "earliest" and len(self.queue) > 1:
                 # Section 3.2's alternative policy: deliver the message
@@ -306,6 +333,13 @@ class _Worker:
                 + cluster.stage_record_cost(connector.dst) * record_count(records)
                 + cost_model.deserialize_per_byte * remote_bytes
             )
+            if trace is not None:
+                span = (
+                    "activation",
+                    connector.dst.name,
+                    timestamp,
+                    (record_count(records), connector.dst_port),
+                )
         else:
             pointstamp = self._deliverable_notification()
             if pointstamp is not None:
@@ -325,6 +359,13 @@ class _Worker:
                 self._updates.append((pointstamp, -1))
                 self.delivered_notifications += 1
                 cost += cost_model.notification_cost
+                if trace is not None:
+                    span = (
+                        "notification",
+                        pointstamp.location.name,
+                        pointstamp.timestamp,
+                        (),
+                    )
             else:
                 pointstamp = self._deliverable_cleanup()
                 if pointstamp is None:
@@ -348,15 +389,31 @@ class _Worker:
                     self._frame_capability = True
                 self.delivered_notifications += 1
                 cost += cost_model.notification_cost
+                if trace is not None:
+                    span = (
+                        "cleanup",
+                        pointstamp.location.name,
+                        pointstamp.timestamp,
+                        (),
+                    )
 
-        # Sender-side serialization and (optionally) logging costs.
+        # Sender-side serialization and (optionally) logging costs.  The
+        # batch size is computed once here and carried on the dispatch
+        # tuple, so _commit's network sends reuse it instead of paying a
+        # second cost-model pass over every remote batch.
         log_bytes = 0
-        for connector, dest, batch, _ in self._dispatches:
+        dispatches = self._dispatches
+        for i in range(len(dispatches)):
+            connector, dest, batch, out_time = dispatches[i]
             if cluster.worker_process(dest) != self.process:
                 size = batch_bytes(batch, cost_model.record_bytes)
+                cluster.batch_bytes_calls += 1
                 cost += cost_model.serialize_per_byte * size
                 log_bytes += size + cluster.fault_tolerance.log_bytes_per_batch
-        if cluster.fault_tolerance.mode == "logging" and self._dispatches:
+            else:
+                size = 0
+            dispatches[i] = (connector, dest, batch, out_time, size)
+        if cluster.fault_tolerance.mode == "logging" and dispatches:
             if log_bytes == 0:
                 log_bytes = cluster.fault_tolerance.log_bytes_per_batch
             cost += log_bytes / cluster.fault_tolerance.disk_bandwidth
@@ -364,39 +421,50 @@ class _Worker:
 
         finish = start + cost
         self.busy_until = finish
-        updates, dispatches = self._updates, self._dispatches
+        updates = self._updates
         self._updates = None
         self._dispatches = None
         self._commit_pending = True
+        if trace is not None and span is not None:
+            trace.emit(
+                TraceEvent(
+                    span[0],
+                    start,
+                    cost,
+                    wall,
+                    self.index,
+                    self.process,
+                    span[1],
+                    timestamp_tuple(span[2]),
+                    span[3],
+                )
+            )
         cluster.sim.schedule_at(finish, lambda: self._commit(updates, dispatches))
 
     def _commit(
         self,
         updates: List[Tuple[Pointstamp, int]],
-        dispatches: List[Tuple[Connector, int, List[Any], Timestamp]],
+        dispatches: List[Tuple[Connector, int, List[Any], Timestamp, int]],
     ) -> None:
         if self.dead:
             return  # the callback's effects died with the process
         self._commit_pending = False
         cluster = self.cluster
-        for connector, dest, batch, out_time in dispatches:
-            dest_process = cluster.worker_process(dest)
+        now = cluster.sim.now
+        for connector, dest, batch, out_time, size in dispatches:
             dest_worker = cluster.workers[dest]
             if dest == self.index:
-                dest_worker.enqueue_message(connector, batch, out_time)
-            else:
-                size = (
-                    batch_bytes(batch, cluster.cost_model.record_bytes)
-                    if dest_process != self.process
-                    else 0
+                dest_worker.enqueue_message(
+                    connector, batch, out_time, 0, self.index, now
                 )
+            else:
                 cluster.network.send(
                     self.process,
-                    dest_process,
+                    cluster.worker_process(dest),
                     size,
                     "data",
-                    lambda w=dest_worker, c=connector, b=batch, t=out_time, s=size: (
-                        w.enqueue_message(c, b, t, s)
+                    lambda w=dest_worker, c=connector, b=batch, t=out_time, s=size, i=self.index, n=now: (
+                        w.enqueue_message(c, b, t, s, i, n)
                     ),
                 )
         cluster.nodes[self.process].submit(updates)
@@ -460,6 +528,9 @@ class ClusterComputation(Computation):
         ]
         self._process_workers: Dict[int, List[_Worker]] = {}
         self.recovery: Optional[RecoveryManager] = None
+        #: DES self-profiling counters (see repro.obs.profile).
+        self.batch_bytes_calls = 0
+        self.stage_cost_calls = 0
 
     # ------------------------------------------------------------------
     # Configuration.
@@ -473,7 +544,49 @@ class ClusterComputation(Computation):
         self._stage_costs[stage] = per_record_seconds
 
     def stage_record_cost(self, stage: Stage) -> float:
+        self.stage_cost_calls += 1
         return self._stage_costs.get(stage, self.cost_model.per_record_cost)
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs).
+    # ------------------------------------------------------------------
+
+    def attach_trace_sink(self, sink: Optional[TraceSink]) -> None:
+        """Emit trace events into ``sink`` from now on (None detaches).
+
+        The same sink object a :class:`repro.core.Computation` accepts;
+        it is shared with the simulator kernel (``run`` spans) and the
+        network model (``message`` events).
+        """
+        self._trace = sink
+        self.sim.trace = sink
+        self.network.trace = sink
+
+    def _trace_cluster_frontier(self, _updates) -> None:
+        # Registered on the process-0 view at build time; a single
+        # attribute test when tracing is off.
+        trace = self._trace
+        if trace is None:
+            return
+        state = self.views[0].state
+        if state.version == self._trace_version:
+            return
+        self._trace_version = state.version
+        frontier = state.frontier()
+        epochs = [p.timestamp.epoch for p in frontier]
+        trace.emit(
+            TraceEvent(
+                "frontier",
+                self.sim.now,
+                0.0,
+                perf_counter(),
+                -1,
+                0,
+                "",
+                (),
+                (len(state), len(frontier), min(epochs) if epochs else -1),
+            )
+        )
 
     @property
     def now(self) -> float:
@@ -525,6 +638,7 @@ class ClusterComputation(Computation):
                 vertex.worker = index
                 vertex._harness = worker
                 self.vertices[(stage, index)] = vertex
+        self.views[0].listeners.append(self._trace_cluster_frontier)
         initial = [
             (Pointstamp(Timestamp(0), handle.stage), +1) for handle in self.inputs
         ]
@@ -584,6 +698,21 @@ class ClusterComputation(Computation):
 
     def _release_epoch(self, stage: Stage, records: List[Any], epoch: int) -> None:
         timestamp = Timestamp(epoch)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "input",
+                    self.sim.now,
+                    0.0,
+                    perf_counter(),
+                    -1,
+                    0,
+                    stage.name,
+                    (epoch,),
+                    (record_count(records),),
+                )
+            )
         updates: List[Tuple[Pointstamp, int]] = []
         for connector in stage.outputs[0]:
             for dest, batch in self._partition_input(connector, records):
@@ -641,11 +770,32 @@ class ClusterComputation(Computation):
     def step(self) -> bool:  # pragma: no cover - thin alias
         return self.sim.step()
 
-    def run(self, max_events: Optional[int] = None, until: Optional[float] = None) -> float:
-        """Run the simulation until idle; returns virtual elapsed time."""
+    def run(
+        self,
+        max_steps: Optional[int] = None,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the simulation until idle; returns virtual elapsed time.
+
+        ``max_steps`` bounds delivered simulator events and ``until``
+        bounds virtual time — the unified :class:`TimelyRuntime`
+        spellings.  ``max_events`` is the historical name for
+        ``max_steps`` and is deprecated.
+        """
+        if max_events is not None:
+            warnings.warn(
+                "ClusterComputation.run(max_events=...) is deprecated; "
+                "use max_steps",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if max_steps is None:
+                max_steps = max_events
         self._check_built()
         start = self.sim.now
-        self.sim.run(until=until, max_events=max_events)
+        self.sim.run(until=until, max_events=max_steps)
         return self.sim.now - start
 
     def drained(self) -> bool:
@@ -655,7 +805,12 @@ class ClusterComputation(Computation):
             and self.sim.pending_events == 0
         )
 
-    def debug_state(self) -> str:
+    def frontier(self) -> List[Pointstamp]:
+        """The process-0 view's frontier (a conservative global view)."""
+        self._check_built()
+        return self.views[0].state.frontier()
+
+    def debug_state(self) -> RuntimeDebugState:
         lines = ["t=%.6f pending_events=%d" % (self.sim.now, self.sim.pending_events)]
         ft = self.fault_tolerance
         lines.append(
@@ -691,7 +846,56 @@ class ClusterComputation(Computation):
                 lines.append("  node %d buffer: %r" % (node.process, node.buffer))
         if self.central is not None and self.central.buffer:
             lines.append("  central buffer: %r" % (self.central.buffer,))
-        return "\n".join(lines)
+        recovery = self.recovery
+        ft_info: Dict[str, Any] = {
+            "mode": ft.mode,
+            "recovery": ft.recovery,
+            "draining": bool(recovery is not None and recovery.paused),
+        }
+        if recovery is not None:
+            ft_info.update(
+                checkpoints=recovery.checkpoint_count,
+                last_checkpoint_time=recovery.last_checkpoint_time,
+                journal_entries=len(recovery.journal),
+                journal_released=recovery.released,
+                logged_batches=recovery.logged_batches,
+                logged_bytes=recovery.logged_bytes,
+            )
+        frontier: Tuple[Tuple[int, ...], ...] = ()
+        if self._built:
+            frontier = tuple(
+                sorted(
+                    timestamp_tuple(p.timestamp)
+                    for p in self.views[0].state.frontier()
+                )
+            )
+        return RuntimeDebugState(
+            runtime=type(self).__name__,
+            now=self.sim.now,
+            pending_events=self.sim.pending_events,
+            delivered_messages=sum(w.delivered_messages for w in self.workers),
+            delivered_notifications=sum(
+                w.delivered_notifications for w in self.workers
+            ),
+            queued_messages=sum(len(w.queue) for w in self.workers),
+            pending_notifications=sum(
+                sum(w.pending_notifications.values()) for w in self.workers
+            ),
+            fault_tolerance=ft_info,
+            dead_processes=tuple(sorted(recovery.dead_processes))
+            if recovery is not None
+            else (),
+            failures=tuple(dict(f) for f in recovery.failures)
+            if recovery is not None
+            else (),
+            busy_workers=tuple(
+                (w.index, w.process, len(w.queue))
+                for w in self.workers
+                if w.has_work()
+            ),
+            frontier=frontier,
+            text="\n".join(lines),
+        )
 
     # ------------------------------------------------------------------
     # Fault tolerance (section 3.4): checkpoint barrier, failure

@@ -111,12 +111,18 @@ class ProgressView:
     ):
         self.state = ProgressState(summaries, cri_cache=cri_cache)
         self.on_change = on_change
+        #: Called with the applied update list after every ``apply`` —
+        #: even when the frontier did not move, because occurrence-count
+        #: churn invalidates the accumulators' hold-verdict memos.
+        self.listeners: List[Callable[[List[ProgressUpdate]], None]] = []
 
     def apply(self, updates: List[ProgressUpdate]) -> None:
         state = self.state
         before = state.version
         for pointstamp, delta in updates:
             state.update(pointstamp, delta)
+        for listener in self.listeners:
+            listener(updates)
         # Deliverability can only change when the frontier moved.
         if self.on_change is not None and state.version != before:
             self.on_change()
@@ -186,6 +192,25 @@ class ProtocolNode:
         self._in_flight: Dict[int, List[ProgressUpdate]] = {}
         self._in_flight_totals: Dict[Pointstamp, int] = {}
         self._next_seq = 0
+        #: Hold-verdict memo with exact invalidation: an entry for a
+        #: pointstamp is dropped when any input of its verdict changes —
+        #: its buffered delta (submit), its in-flight total (ledger),
+        #: its occurrence count (view listener) — and the whole memo is
+        #: cleared when the frontier moves (view version bump).
+        self._hold_cache: Dict[Pointstamp, bool] = {}
+        self._hold_version = -1
+        #: Incremental safety-condition scan — the fix for the measured
+        #: 64-computer hot path (_maybe_flush runs on every submit and
+        #: every progress receive, and used to rescan the whole buffer
+        #: each time).  ``_verified`` means every buffered pointstamp
+        #: outside ``_dirty`` was proven holdable and none of those
+        #: verdicts has been invalidated since, so a recheck only needs
+        #: to look at the dirty set.
+        self._verified = False
+        self._dirty: set = set()
+        self.hold_evals = 0
+        self.hold_memo_hits = 0
+        view.listeners.append(self._note_view_updates)
 
     # ------------------------------------------------------------------
     # Worker-side entry point.
@@ -200,31 +225,88 @@ class ProtocolNode:
         elif self.mode == "global":
             self._send_to_central(net_updates(updates))
         else:  # local accumulation (with or without global)
+            cache = self._hold_cache
+            dirty = self._dirty
             for pointstamp, delta in updates:
                 self.buffer[pointstamp] = self.buffer.get(pointstamp, 0) + delta
                 if self.buffer[pointstamp] == 0:
                     del self.buffer[pointstamp]
+                cache.pop(pointstamp, None)
+                dirty.add(pointstamp)
             self._maybe_flush()
 
     # ------------------------------------------------------------------
     # The buffering safety condition.
     # ------------------------------------------------------------------
 
+    def _note_view_updates(self, updates: List[ProgressUpdate]) -> None:
+        version = self.view.state.version
+        if version != self._hold_version:
+            self._hold_version = version
+            self._hold_cache.clear()
+            self._verified = False
+            self._dirty.clear()
+        else:
+            cache = self._hold_cache
+            dirty = self._dirty
+            for pointstamp, _ in updates:
+                if cache.pop(pointstamp, None) is not None:
+                    dirty.add(pointstamp)
+
     def _may_hold(self, pointstamp: Pointstamp, buffered: int) -> bool:
-        return _may_hold_update(
+        verdict = self._hold_cache.get(pointstamp)
+        if verdict is not None:
+            self.hold_memo_hits += 1
+            return verdict
+        self.hold_evals += 1
+        verdict = _may_hold_update(
             self.view.state,
             pointstamp,
             buffered,
             self._in_flight_totals.get(pointstamp, 0),
         )
+        self._hold_cache[pointstamp] = verdict
+        return verdict
+
+    def _holds_invalidated(self, pointstamp: Pointstamp) -> None:
+        if self._hold_cache.pop(pointstamp, None) is not None:
+            self._dirty.add(pointstamp)
+
+    def _scan_holds(self) -> bool:
+        """True iff the whole buffer may (still) be withheld.
+
+        When the previous scan verified the buffer, only pointstamps
+        whose verdict inputs changed since (the dirty set) are
+        re-examined; the rest are covered by exact invalidation.
+        """
+        buffer = self.buffer
+        if self._verified:
+            dirty = self._dirty
+            if not dirty:
+                self.hold_memo_hits += 1
+                return True
+            for pointstamp in dirty:
+                delta = buffer.get(pointstamp)
+                if delta is not None and not self._may_hold(pointstamp, delta):
+                    return False
+            dirty.clear()
+            return True
+        if all(self._may_hold(p, d) for p, d in buffer.items()):
+            self._verified = True
+            self._dirty.clear()
+            return True
+        return False
 
     def _maybe_flush(self) -> None:
         if not self.buffer:
             return
-        if all(self._may_hold(p, d) for p, d in self.buffer.items()):
+        if self._scan_holds():
             return
         updates = net_updates(list(self.buffer.items()))
         self.buffer.clear()
+        self._hold_cache.clear()
+        self._verified = False
+        self._dirty.clear()
         if self.mode == "local+global":
             self._send_to_central(updates)
         else:
@@ -241,6 +323,7 @@ class ProtocolNode:
         totals = self._in_flight_totals
         for pointstamp, delta in updates:
             totals[pointstamp] = totals.get(pointstamp, 0) + delta
+            self._holds_invalidated(pointstamp)
         return seq
 
     def _forget_in_flight(self, seq: int) -> None:
@@ -254,6 +337,7 @@ class ProtocolNode:
                 totals[pointstamp] = remaining
             else:
                 totals.pop(pointstamp, None)
+            self._holds_invalidated(pointstamp)
 
     def _broadcast(self, updates: List[ProgressUpdate]) -> None:
         if not updates:
@@ -300,6 +384,10 @@ class ProtocolNode:
         self.buffer.clear()
         self._in_flight.clear()
         self._in_flight_totals.clear()
+        self._hold_cache.clear()
+        self._hold_version = -1
+        self._verified = False
+        self._dirty.clear()
         return updates
 
     def reset(self) -> None:
@@ -307,6 +395,10 @@ class ProtocolNode:
         self.buffer.clear()
         self._in_flight.clear()
         self._in_flight_totals.clear()
+        self._hold_cache.clear()
+        self._hold_version = -1
+        self._verified = False
+        self._dirty.clear()
 
     def receive(
         self,
@@ -349,24 +441,88 @@ class CentralAccumulator:
         self._in_flight: Dict[int, List[ProgressUpdate]] = {}
         self._in_flight_totals: Dict[Pointstamp, int] = {}
         self._next_seq = 0
+        #: Hold-verdict memo and incremental dirty-set scan; same
+        #: invalidation discipline as :class:`ProtocolNode` (evaluated
+        #: against the hosting process's view, on which this registers a
+        #: listener).
+        self._hold_cache: Dict[Pointstamp, bool] = {}
+        self._hold_version = -1
+        self._verified = False
+        self._dirty: set = set()
+        self.hold_evals = 0
+        self.hold_memo_hits = 0
+        view.listeners.append(self._note_view_updates)
 
     def accumulate(
         self, updates: List[ProgressUpdate], origin: Tuple[int, int]
     ) -> None:
+        cache = self._hold_cache
+        dirty = self._dirty
         for pointstamp, delta in updates:
             self.buffer[pointstamp] = self.buffer.get(pointstamp, 0) + delta
             if self.buffer[pointstamp] == 0:
                 del self.buffer[pointstamp]
+            cache.pop(pointstamp, None)
+            dirty.add(pointstamp)
         self._covered.append(origin)
         self._maybe_flush()
 
+    def _note_view_updates(self, updates: List[ProgressUpdate]) -> None:
+        version = self.view.state.version
+        if version != self._hold_version:
+            self._hold_version = version
+            self._hold_cache.clear()
+            self._verified = False
+            self._dirty.clear()
+        else:
+            cache = self._hold_cache
+            dirty = self._dirty
+            for pointstamp, _ in updates:
+                if cache.pop(pointstamp, None) is not None:
+                    dirty.add(pointstamp)
+
     def _may_hold(self, pointstamp: Pointstamp, buffered: int) -> bool:
-        return _may_hold_update(
+        verdict = self._hold_cache.get(pointstamp)
+        if verdict is not None:
+            self.hold_memo_hits += 1
+            return verdict
+        self.hold_evals += 1
+        verdict = _may_hold_update(
             self.view.state,
             pointstamp,
             buffered,
             self._in_flight_totals.get(pointstamp, 0),
         )
+        self._hold_cache[pointstamp] = verdict
+        return verdict
+
+    def _holds_invalidated(self, pointstamp: Pointstamp) -> None:
+        if self._hold_cache.pop(pointstamp, None) is not None:
+            self._dirty.add(pointstamp)
+
+    def _scan_holds(self) -> bool:
+        """True iff the whole buffer may (still) be withheld.
+
+        Mirrors :meth:`ProtocolNode._scan_holds`: once the buffer has
+        been verified, only dirty pointstamps are re-examined.
+        """
+        buffer = self.buffer
+        if self._verified:
+            dirty = self._dirty
+            if not dirty:
+                self.hold_memo_hits += 1
+                return True
+            for pointstamp in dirty:
+                delta = buffer.get(pointstamp)
+                if delta is not None and not self._may_hold(pointstamp, delta):
+                    return False
+            dirty.clear()
+            return True
+        if all(self._may_hold(p, d) for p, d in buffer.items()):
+            self._verified = True
+            self._dirty.clear()
+            return True
+        return False
 
     def recheck(self) -> None:
         self._maybe_flush()
@@ -383,6 +539,10 @@ class CentralAccumulator:
         self._covered = []
         self._in_flight.clear()
         self._in_flight_totals.clear()
+        self._hold_cache.clear()
+        self._hold_version = -1
+        self._verified = False
+        self._dirty.clear()
         return updates
 
     def reset(self) -> None:
@@ -391,6 +551,10 @@ class CentralAccumulator:
         self._covered = []
         self._in_flight.clear()
         self._in_flight_totals.clear()
+        self._hold_cache.clear()
+        self._hold_version = -1
+        self._verified = False
+        self._dirty.clear()
 
     def _maybe_flush(self) -> None:
         if not self.buffer:
@@ -400,11 +564,14 @@ class CentralAccumulator:
                 self._broadcast([], tuple(self._covered))
                 self._covered = []
             return
-        if all(self._may_hold(p, d) for p, d in self.buffer.items()):
+        if self._scan_holds():
             return
         updates = net_updates(list(self.buffer.items()))
         covered = tuple(self._covered)
         self.buffer.clear()
+        self._hold_cache.clear()
+        self._verified = False
+        self._dirty.clear()
         self._covered = []
         self._broadcast(updates, covered)
 
@@ -420,6 +587,7 @@ class CentralAccumulator:
             totals = self._in_flight_totals
             for pointstamp, delta in updates:
                 totals[pointstamp] = totals.get(pointstamp, 0) + delta
+                self._holds_invalidated(pointstamp)
         covered = covered + ((-1, seq),)
         size = wire_size(updates)
         for dst in range(self.num_processes):
@@ -450,6 +618,7 @@ class CentralAccumulator:
                                 totals[pointstamp] = remaining
                             else:
                                 totals.pop(pointstamp, None)
+                            self._holds_invalidated(pointstamp)
         node.receive(updates, covered)
         if node.process == self.process:
             self.recheck()

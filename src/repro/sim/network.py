@@ -19,8 +19,10 @@ pieces of that environment that shape the paper's results:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Tuple
 
+from ..obs.trace import TraceEvent
 from .des import Simulator
 
 
@@ -103,6 +105,8 @@ class Network:
         #: waits for this to reach zero; failure injection zeroes it.
         self.in_flight = 0
         self._generation = 0
+        #: Observability sink (repro.obs.TraceSink); None = tracing off.
+        self.trace = None
         if config.gc_interval > 0:
             for process in range(num_processes):
                 self._schedule_gc(process)
@@ -163,6 +167,21 @@ class Network:
         if src == dst:
             arrival = now + config.local_latency
             self.sim.schedule_at(arrival, guarded_deliver)
+            trace = self.trace
+            if trace is not None:
+                trace.emit(
+                    TraceEvent(
+                        "message",
+                        now,
+                        arrival - now,
+                        perf_counter(),
+                        -1,
+                        src,
+                        "",
+                        (),
+                        (src, dst, wire_size, kind),
+                    )
+                )
             return arrival
         transfer = wire_size / config.bandwidth
         start = max(now, self._egress_free[src], self._gc_busy_until[src])
@@ -189,6 +208,21 @@ class Network:
         arrival = max(arrival, self._fifo_last.get(key, 0.0))
         self._fifo_last[key] = arrival
         self.sim.schedule_at(arrival, guarded_deliver)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "message",
+                    now,
+                    arrival - now,
+                    perf_counter(),
+                    -1,
+                    src,
+                    "",
+                    (),
+                    (src, dst, wire_size, kind),
+                )
+            )
         return arrival
 
     # ------------------------------------------------------------------

@@ -1,7 +1,6 @@
 """Tests for the AllReduce collectives (section 6.2)."""
 
 import numpy as np
-import pytest
 
 from repro import Computation
 from repro.lib import Stream, allreduce, tree_allreduce

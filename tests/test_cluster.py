@@ -14,7 +14,7 @@ from collections import Counter
 
 import pytest
 
-from repro import Computation, Timestamp, Vertex
+from repro import Computation, Vertex
 from repro.lib import Stream
 from repro.runtime import ClusterComputation, FaultTolerance, SyntheticRecords
 from repro.sim import NetworkConfig

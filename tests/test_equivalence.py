@@ -9,7 +9,6 @@ unaffected by packet loss or GC stragglers.
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Computation

@@ -8,7 +8,7 @@ from repro.core import (
     PathSummary,
     StageKind,
 )
-from repro.core.vertex import ForwardingVertex, Vertex
+from repro.core.vertex import ForwardingVertex
 
 
 def fwd(stage, worker):

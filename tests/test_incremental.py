@@ -113,9 +113,11 @@ class TestIncrementalCount:
 
 class TestIncrementalReduce:
     def test_group_sum_maintained(self):
-        build = lambda c: c.reduce_by(
-            lambda r: r[0], lambda k, vs: [(k, sum(v for _, v in vs))]
-        )
+        def build(c):
+            return c.reduce_by(
+                lambda r: r[0], lambda k, vs: [(k, sum(v for _, v in vs))]
+            )
+
         live = run_collection(
             build,
             [
@@ -126,7 +128,9 @@ class TestIncrementalReduce:
         assert live == {("a", 2): 1, ("b", 5): 1}
 
     def test_group_vanishes_on_empty(self):
-        build = lambda c: c.reduce_by(lambda r: r[0], lambda k, vs: [(k, len(vs))])
+        def build(c):
+            return c.reduce_by(lambda r: r[0], lambda k, vs: [(k, len(vs))])
+
         live = run_collection(build, [[(("a", 1), 1)], [(("a", 1), -1)]])
         assert live == {}
 
@@ -147,9 +151,9 @@ class TestIncrementalJoin:
             cb, lambda x: x % 3, lambda y: y % 3, lambda x, y: (x, y)
         ).accumulate_into(live)
         comp.build()
-        for l, r in zip(left_epochs, right_epochs):
-            a.on_next(l)
-            b.on_next(r)
+        for lhs, rhs in zip(left_epochs, right_epochs):
+            a.on_next(lhs)
+            b.on_next(rhs)
         a.on_completed()
         b.on_completed()
         comp.run()

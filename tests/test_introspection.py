@@ -1,6 +1,5 @@
 """Tests for progress probes and DOT graph rendering."""
 
-import pytest
 
 from repro import Computation
 from repro.core.dot import to_dot

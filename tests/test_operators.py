@@ -141,9 +141,9 @@ class TestBinaryOperators:
             lambda t, records: out.setdefault(t.epoch, []).extend(records)
         )
         comp.build()
-        for l, r in zip(left_epochs, right_epochs):
-            left.on_next(list(l))
-            right.on_next(list(r))
+        for lhs, rhs in zip(left_epochs, right_epochs):
+            left.on_next(list(lhs))
+            right.on_next(list(rhs))
         left.on_completed()
         right.on_completed()
         comp.run()
@@ -204,7 +204,7 @@ class TestBinaryOperators:
         b = Stream.from_input(comp.new_input())
         entered = a.enter(Loop(comp))
         with pytest.raises(ValueError):
-            entered.binary_buffered(b, lambda l, r: [])
+            entered.binary_buffered(b, lambda lhs, rhs: [])
 
     def test_concat_context_mismatch_rejected(self):
         comp = Computation()

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.progress: occurrence/precursor counting."""
 
-import pytest
 
 from repro.core import (
     Antichain,

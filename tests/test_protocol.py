@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Antichain, PathSummary, Pointstamp, Timestamp
+from repro.core import Pointstamp, Timestamp
 from repro.core.graph import DataflowGraph, StageKind
 from repro.core.progress import ProgressState
 from repro.runtime.protocol import (

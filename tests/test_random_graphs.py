@@ -19,8 +19,7 @@ import pytest
 
 from repro import Computation, Vertex
 from repro.core import PathSummary
-from repro.core.graph import StageKind
-from repro.lib import Loop, Stream
+from repro.lib import Stream
 from repro.runtime import ClusterComputation
 
 

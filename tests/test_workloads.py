@@ -2,7 +2,6 @@
 
 from collections import Counter
 
-import pytest
 
 from repro.workloads import (
     TweetGenerator,
