@@ -22,6 +22,28 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"
 #: (and REPRO_TRACE_DIR to also dump the JSONL next to the reports).
 TRACE_ENV = "REPRO_TRACE"
 
+#: Execution backend for the simulated cluster: "inline" runs vertex
+#: callbacks on the DES thread, "mp" offloads their bodies to a fork
+#: pool (bit-identical virtual-time results; see repro.parallel).
+BACKEND_ENV = "REPRO_BACKEND"
+POOL_WORKERS_ENV = "REPRO_POOL_WORKERS"
+
+
+def selected_backend() -> str:
+    """The execution backend benchmarks run under (defaults inline)."""
+    return os.environ.get(BACKEND_ENV, "inline") or "inline"
+
+
+def backend_lines(computation) -> List[str]:
+    """One-line description of the backend a finished run used."""
+    pool = getattr(computation, "pool", None)
+    if pool is None:
+        return ["backend: inline (vertex callbacks on the DES thread)"]
+    return [
+        "backend: mp (%d pool children, %d/%d claims offloaded)"
+        % (pool.size, pool.tasks_offloaded, pool.claims_made)
+    ]
+
 
 def tracing_enabled() -> bool:
     return os.environ.get(TRACE_ENV, "") not in ("", "0")

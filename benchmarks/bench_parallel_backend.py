@@ -1,0 +1,93 @@
+"""Inline versus multiprocessing vertex execution on the flagship run.
+
+WCC on the 64-computer Figure 6 preset, executed twice: once with
+vertex callbacks inline on the DES thread and once with their bodies
+offloaded to a 4-child fork pool (`repro.parallel`).  The two runs must
+be bit-identical in virtual time and event count — the pool changes
+only wall-clock time.  The report records both wall clocks and the
+work split; EXPERIMENTS.md discusses the speedup model (the offload
+only pays on multi-core hosts — on a single hardware core the pipe
+round-trips are pure overhead).
+"""
+
+import time
+
+from repro.algorithms import weakly_connected_components
+from repro.lib import Stream
+from repro.parallel import fork_available
+from repro.runtime import ClusterComputation, CostModel
+from repro.workloads import uniform_random_graph
+
+from bench_harness import format_table, human_time, profile_lines, report
+
+COMPUTERS = 64
+POOL_WORKERS = 4
+GRAPH = uniform_random_graph(2000, 4000, seed=2)
+#: The Figure 6 blocked cost model (see bench_fig6d_strong_scaling).
+BLOCKED = CostModel(per_record_cost=2e-5, record_bytes=800)
+
+
+def run_wcc(backend: str):
+    comp = ClusterComputation(
+        num_processes=COMPUTERS,
+        workers_per_process=2,
+        progress_mode="local+global",
+        cost_model=BLOCKED,
+        backend=backend,
+        pool_workers=POOL_WORKERS,
+    )
+    out = []
+    inp = comp.new_input()
+    weakly_connected_components(Stream.from_input(inp)).subscribe(
+        lambda t, recs: out.extend(recs)
+    )
+    comp.build()
+    inp.on_next(GRAPH)
+    inp.on_completed()
+    started = time.perf_counter()
+    comp.run()
+    wall = time.perf_counter() - started
+    assert comp.drained(), comp.debug_state()
+    observables = (comp.sim.now, comp.sim.events_executed, sorted(out))
+    offloaded = 0 if comp.pool is None else comp.pool.tasks_offloaded
+    comp.close()
+    return comp, wall, observables, offloaded
+
+
+def test_parallel_backend_wcc64(benchmark):
+    if not fork_available():
+        import pytest
+
+        pytest.skip("mp backend requires the fork start method")
+
+    def experiment():
+        inline_comp, inline_wall, inline_obs, _ = run_wcc("inline")
+        _, mp_wall, mp_obs, offloaded = run_wcc("mp")
+        return inline_comp, inline_wall, inline_obs, mp_wall, mp_obs, offloaded
+
+    inline_comp, inline_wall, inline_obs, mp_wall, mp_obs, offloaded = (
+        benchmark.pedantic(experiment, rounds=1, iterations=1)
+    )
+
+    # The tentpole guarantee: the pool must not perturb the simulation.
+    assert inline_obs == mp_obs
+    assert offloaded > 0
+
+    rows = [
+        ("inline", human_time(inline_wall), "%.6f s" % inline_obs[0], "-"),
+        (
+            "mp x%d" % POOL_WORKERS,
+            human_time(mp_wall),
+            "%.6f s" % mp_obs[0],
+            "%d tasks" % offloaded,
+        ),
+    ]
+    lines = format_table(
+        ["backend", "wall clock", "virtual time", "offloaded"], rows
+    )
+    lines.append(
+        "wall-clock ratio inline/mp: %.2fx" % (inline_wall / mp_wall)
+    )
+    lines.append("-- inline DES self-profile --")
+    lines.extend(profile_lines(inline_comp))
+    report("parallel_backend_wcc64", lines)

@@ -163,7 +163,8 @@ def hashtag_component_app(
 class _ImmediateSink(Vertex):
     """Delivers batches to a callback as they arrive (no coordination)."""
 
-    _TRANSIENT_ATTRS = Vertex._TRANSIENT_ATTRS + ("callback",)
+    coordinator_only = True
+    _CONFIG_ATTRS = ("callback",)
 
     def __init__(self, callback):
         super().__init__()

@@ -22,12 +22,21 @@ Vertices optionally implement ``checkpoint()``/``restore(state)``
 (section 3.4); the default implementation snapshots the instance's
 attribute dictionary, which suffices for vertices whose state is plain
 Python data.
+
+Checkpoint state must be *picklable*: the section 3.4 durable journal
+and the multiprocessing execution backend (:mod:`repro.parallel`) both
+ship it across process boundaries.  Configuration a vertex received at
+construction time — user functions, predicates, key selectors — is
+immutable and often unpicklable (lambdas, closures, bound methods), so
+subclasses list those attribute names in ``_CONFIG_ATTRS``; they are
+excluded from the snapshot and left untouched by ``restore``, exactly
+like the runtime-assigned transient attributes.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 from .timestamp import Timestamp
 
@@ -40,6 +49,12 @@ class Vertex:
     (the parallel index of this instance within its stage) and a private
     harness before any callback runs.
     """
+
+    #: True pins every instance of this vertex class to the coordinator
+    #: under the multiprocessing backend (repro.parallel): its callbacks
+    #: run on the DES thread.  Set on vertex classes whose callbacks
+    #: side-effect driver-side objects (subscriptions, probes).
+    coordinator_only = False
 
     def __init__(self):
         self.stage = None
@@ -103,27 +118,43 @@ class Vertex:
     #: Attributes excluded from the default checkpoint.
     _TRANSIENT_ATTRS = ("stage", "worker", "_harness")
 
+    #: Constructor-supplied configuration excluded from the default
+    #: checkpoint alongside the transient attributes.  Subclasses list
+    #: the names of user-function attributes here (lambdas, closures and
+    #: bound methods do not pickle); configuration is immutable, so
+    #: leaving it out of the snapshot loses nothing on restore.
+    _CONFIG_ATTRS: Tuple[str, ...] = ()
+
+    def _checkpoint_excluded(self, key: str) -> bool:
+        return key in self._TRANSIENT_ATTRS or key in self._CONFIG_ATTRS
+
     def checkpoint(self) -> Any:
-        """Return a snapshot of this vertex's state (default: deep copy)."""
+        """Return a snapshot of this vertex's state (default: deep copy).
+
+        The snapshot excludes runtime-transient attributes and the
+        immutable configuration named by ``_CONFIG_ATTRS``, and must be
+        picklable — it travels through the durable journal and between
+        the coordinator and pool workers.
+        """
         state = {
             key: value
             for key, value in self.__dict__.items()
-            if key not in self._TRANSIENT_ATTRS
+            if not self._checkpoint_excluded(key)
         }
         return copy.deepcopy(state)
 
     def restore(self, state: Any) -> None:
         """Reset this vertex's state from a :meth:`checkpoint` snapshot.
 
-        Attributes acquired *after* the checkpoint (and not transient)
-        are removed, so restore really is a rollback: a vertex that
-        lazily created per-timestamp state past the snapshot point does
-        not keep it into the replayed execution.
+        Attributes acquired *after* the checkpoint (and neither
+        transient nor configuration) are removed, so restore really is a
+        rollback: a vertex that lazily created per-timestamp state past
+        the snapshot point does not keep it into the replayed execution.
         """
         stale = [
             key
             for key in self.__dict__
-            if key not in self._TRANSIENT_ATTRS and key not in state
+            if not self._checkpoint_excluded(key) and key not in state
         ]
         for key in stale:
             delattr(self, key)

@@ -66,6 +66,8 @@ class _ScatterVertex(Vertex):
 class _ReduceChunkVertex(Vertex):
     """Sum this worker's chunks, then broadcast the result to all peers."""
 
+    _CONFIG_ATTRS = ("combine",)
+
     def __init__(self, combine: Callable[[Any, Any], Any]):
         super().__init__()
         self.combine = combine
@@ -141,6 +143,8 @@ class _TreeLevelVertex(Vertex):
     combine their own partial vector with the one arriving from index
     ``+ 2^l`` and pass the result up.
     """
+
+    _CONFIG_ATTRS = ("combine",)
 
     def __init__(self, level: int, combine: Callable[[Any, Any], Any]):
         super().__init__()

@@ -61,6 +61,8 @@ class AsyncJoinVertex(Vertex):
     backwards-in-time rule without any coordination.
     """
 
+    _CONFIG_ATTRS = ("left_key", "right_key", "result")
+
     def __init__(
         self,
         left_key: Callable[[Any], Any],
@@ -102,6 +104,8 @@ class MonotonicAggregateVertex(Vertex):
     trade-off section 2.4 describes: fast uncoordinated iteration at the
     cost of multiple messages before the final value.
     """
+
+    _CONFIG_ATTRS = ("key", "value", "better")
 
     def __init__(
         self,

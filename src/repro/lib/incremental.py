@@ -95,6 +95,8 @@ class IncrementalDistinctVertex(_EpochDiffVertex):
 class IncrementalCountVertex(_EpochDiffVertex):
     """``(key, count)`` maintenance: retract the old count, assert the new."""
 
+    _CONFIG_ATTRS = ("key",)
+
     def __init__(self, key: Callable[[Any], Any]):
         super().__init__()
         self.key = key
@@ -130,6 +132,8 @@ class IncrementalReduceVertex(_EpochDiffVertex):
     output and assert the new one — the incremental analogue of the
     buffering GroupBy of section 4.2.
     """
+
+    _CONFIG_ATTRS = ("key", "reducer")
 
     def __init__(
         self,
@@ -182,6 +186,8 @@ class IncrementalJoinVertex(Vertex):
     Output diffs follow the product rule:
     ``d(A ⋈ B) = dA ⋈ B ∪ A ⋈ dB ∪ dA ⋈ dB``.
     """
+
+    _CONFIG_ATTRS = ("left_key", "right_key", "result")
 
     def __init__(
         self,

@@ -26,6 +26,8 @@ from ..core.vertex import Vertex
 class SelectVertex(Vertex):
     """Stateless 1:1 transformation; forwards immediately (no coordination)."""
 
+    _CONFIG_ATTRS = ("function",)
+
     def __init__(self, function: Callable[[Any], Any]):
         super().__init__()
         self.function = function
@@ -37,6 +39,8 @@ class SelectVertex(Vertex):
 
 class WhereVertex(Vertex):
     """Stateless filter; forwards immediately."""
+
+    _CONFIG_ATTRS = ("predicate",)
 
     def __init__(self, predicate: Callable[[Any], bool]):
         super().__init__()
@@ -51,6 +55,8 @@ class WhereVertex(Vertex):
 
 class SelectManyVertex(Vertex):
     """Stateless 1:N transformation (flat map); forwards immediately."""
+
+    _CONFIG_ATTRS = ("function",)
 
     def __init__(self, function: Callable[[Any], Iterable[Any]]):
         super().__init__()
@@ -109,6 +115,8 @@ class UnaryBufferingVertex(Vertex):
     the result.
     """
 
+    _CONFIG_ATTRS = ("transform",)
+
     def __init__(self, transform: Callable[[List[Any]], Iterable[Any]]):
         super().__init__()
         self.transform = transform
@@ -130,6 +138,8 @@ class UnaryBufferingVertex(Vertex):
 
 class BinaryBufferingVertex(Vertex):
     """The generic coordinated binary operator (two buffered inputs)."""
+
+    _CONFIG_ATTRS = ("transform",)
 
     def __init__(self, transform: Callable[[List[Any], List[Any]], Iterable[Any]]):
         super().__init__()
@@ -157,6 +167,8 @@ class GroupByVertex(UnaryBufferingVertex):
     mirroring Naiad's ``GroupBy(key, (k, vs) => ...)``.
     """
 
+    _CONFIG_ATTRS = ("transform", "key", "reducer")
+
     def __init__(
         self,
         key: Callable[[Any], Any],
@@ -179,6 +191,8 @@ class GroupByVertex(UnaryBufferingVertex):
 
 class CountByVertex(Vertex):
     """Emit ``(key, count)`` per timestamp; counts fold incrementally."""
+
+    _CONFIG_ATTRS = ("key",)
 
     def __init__(self, key: Callable[[Any], Any]):
         super().__init__()
@@ -207,6 +221,8 @@ class AggregateByVertex(Vertex):
     ``combine(acc, value) -> acc`` folds eagerly as records arrive, so
     memory is one accumulator per key rather than the whole group.
     """
+
+    _CONFIG_ATTRS = ("key", "value", "combine")
 
     def __init__(
         self,
@@ -246,6 +262,8 @@ class JoinVertex(Vertex):
     Input 0 is the left relation, input 1 the right.  ``result(l, r)``
     shapes the output.  The notification reclaims per-timestamp state.
     """
+
+    _CONFIG_ATTRS = ("left_key", "right_key", "result")
 
     def __init__(
         self,
@@ -291,6 +309,9 @@ class SubscribeVertex(Vertex):
     paper emphasises.
     """
 
+    coordinator_only = True
+    _CONFIG_ATTRS = ("callback",)
+
     def __init__(self, callback: Callable[[Timestamp, List[Any]], None]):
         super().__init__()
         self.callback = callback
@@ -310,12 +331,17 @@ class SubscribeVertex(Vertex):
 class ProbeVertex(Vertex):
     """Absorbs records; exists so a probe has a graph location."""
 
+    coordinator_only = True
+
     def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
         pass
 
 
 class InspectVertex(Vertex):
     """Pass-through that calls ``probe(timestamp, records)`` per batch."""
+
+    coordinator_only = True
+    _CONFIG_ATTRS = ("probe",)
 
     def __init__(self, probe: Callable[[Timestamp, List[Any]], None]):
         super().__init__()

@@ -116,6 +116,8 @@ class PregelVertex(Vertex):
     2 = aggregator contributions.
     """
 
+    _CONFIG_ATTRS = ("compute", "combine", "aggregate_combine")
+
     def __init__(
         self,
         compute: Callable[[NodeContext], None],
@@ -207,6 +209,8 @@ class PregelVertex(Vertex):
 
 class _AggregatorVertex(Vertex):
     """Reduces contributions and broadcasts the result to all workers."""
+
+    _CONFIG_ATTRS = ("combine",)
 
     def __init__(self, combine: Callable[[Any, Any], Any]):
         super().__init__()

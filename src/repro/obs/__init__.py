@@ -19,11 +19,13 @@ Three layers, all optional and zero-overhead when unused:
 
 from .metrics import (
     CriticalPathSummary,
+    PoolTimeline,
     StageTimeline,
     WorkerTimeline,
     critical_path,
     event_counts,
     frontier_trace,
+    pool_timelines,
     stage_timelines,
     worker_timelines,
 )
@@ -34,6 +36,7 @@ __all__ = [
     "ACTIVITY_TYPES",
     "CriticalPathSummary",
     "DESProfile",
+    "PoolTimeline",
     "StageTimeline",
     "TraceEvent",
     "TraceSink",
@@ -42,6 +45,7 @@ __all__ = [
     "critical_path",
     "event_counts",
     "frontier_trace",
+    "pool_timelines",
     "stage_timelines",
     "timestamp_tuple",
     "worker_timelines",

@@ -124,6 +124,56 @@ def frontier_trace(events: Iterable[TraceEvent]) -> List[Tuple[float, Tuple]]:
 
 
 @dataclass
+class PoolTimeline:
+    """Per-pool-child summary of offloaded callback bodies (mp backend)."""
+
+    rank: int
+    tasks: int = 0
+    recvs: int = 0
+    notifies: int = 0
+    #: Virtual time covered by the offloaded spans.
+    busy: float = 0.0
+    #: Real CPU seconds the child reported for the callback bodies.
+    child_wall: float = 0.0
+    workers: Tuple[int, ...] = ()
+    first_t: float = 0.0
+    last_t: float = 0.0
+
+
+def pool_timelines(events: Iterable[TraceEvent]) -> Dict[int, PoolTimeline]:
+    """Aggregate ``pool`` events by pool rank (empty for inline runs).
+
+    A ``pool`` event's ``process`` field carries the pool child's rank
+    and its ``detail`` is ``(callback_kind, child_wall_seconds)``.
+    """
+    out: Dict[int, PoolTimeline] = {}
+    seen_workers: Dict[int, set] = {}
+    for event in events:
+        if event.kind != "pool":
+            continue
+        line = out.get(event.process)
+        if line is None:
+            line = out[event.process] = PoolTimeline(
+                event.process, first_t=event.t, last_t=event.finish
+            )
+            seen_workers[event.process] = set()
+        line.tasks += 1
+        if event.detail and event.detail[0] == "recv":
+            line.recvs += 1
+        else:
+            line.notifies += 1
+        line.busy += event.dur
+        if len(event.detail) > 1:
+            line.child_wall += event.detail[1]
+        seen_workers[event.process].add(event.worker)
+        line.first_t = min(line.first_t, event.t)
+        line.last_t = max(line.last_t, event.finish)
+    for rank, line in out.items():
+        line.workers = tuple(sorted(seen_workers[rank]))
+    return out
+
+
+@dataclass
 class CriticalPathSummary:
     """A SnailTrail-style breakdown of the end-to-end critical path."""
 

@@ -49,6 +49,18 @@ class DESProfile:
     messages_by_kind: Dict[str, int] = field(default_factory=dict)
     #: Network bytes by traffic category.
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Pool children in the mp backend (0 for the inline backend).
+    pool_size: int = 0
+    #: Worker-step claims the pool dispatcher prepared.
+    pool_claims: int = 0
+    #: Callback bodies actually offloaded to pool children.
+    pool_tasks: int = 0
+    #: Coordinator wall seconds blocked waiting on pool replies.
+    pool_wait_wall: float = 0.0
+    #: Child-reported wall seconds spent in callback bodies, per rank.
+    pool_child_wall: Dict[int, float] = field(default_factory=dict)
+    #: Pool resets (worker rebuilds after failures/rebalances).
+    pool_resets: int = 0
 
     def lines(self) -> List[str]:
         """Human-readable rendering for benchmark reports."""
@@ -72,6 +84,19 @@ class DESProfile:
             out.append(
                 "  network[%s]: %d messages, %d bytes"
                 % (kind, self.messages_by_kind[kind], self.bytes_by_kind.get(kind, 0))
+            )
+        if self.pool_size:
+            out.append(
+                "  pool: %d children, %d/%d claims offloaded, "
+                "%.3fs coordinator wait, %.3fs child cpu, %d resets"
+                % (
+                    self.pool_size,
+                    self.pool_tasks,
+                    self.pool_claims,
+                    self.pool_wait_wall,
+                    sum(self.pool_child_wall.values()),
+                    self.pool_resets,
+                )
             )
         return out
 
@@ -114,4 +139,12 @@ def collect_profile(comp) -> DESProfile:
         profile.delivered_notifications = sum(
             w.delivered_notifications for w in workers
         )
+    pool = getattr(comp, "pool", None)
+    if pool is not None:
+        profile.pool_size = pool.size
+        profile.pool_claims = pool.claims_made
+        profile.pool_tasks = pool.tasks_offloaded
+        profile.pool_wait_wall = pool.wait_wall
+        profile.pool_child_wall = dict(enumerate(pool.child_wall))
+        profile.pool_resets = pool.resets
     return profile

@@ -32,6 +32,10 @@ Event kinds
     rollback, and injected process failures.
 ``run``
     one ``Simulator.run`` invocation (span over the whole drain).
+``pool``
+    a vertex callback body executed in a multiprocessing pool child
+    (the ``mp`` backend); the ``process`` field carries the pool rank
+    and ``detail`` is ``(callback_kind, child_wall_seconds)``.
 
 The mapping onto SnailTrail's activity vocabulary lives in
 :data:`ACTIVITY_TYPES` and is documented in DESIGN.md.
@@ -56,6 +60,7 @@ ACTIVITY_TYPES = {
     "restore": "barrier",
     "failure": "barrier",
     "run": "span",
+    "pool": "processing",
 }
 
 

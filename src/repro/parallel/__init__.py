@@ -1,0 +1,15 @@
+"""Multiprocessing vertex execution for the simulated cluster runtime.
+
+The single-threaded discrete-event simulator stays the sole coordinator
+of virtual time and the progress protocol; :class:`VertexPool` only
+executes the *bodies* of vertex callbacks in persistent forked worker
+processes, returning their recorded effects for the coordinator to
+apply in the original deterministic order.  Results — virtual time,
+event ordering, progress traffic, outputs — are bit-identical to the
+inline backend; only wall-clock time changes.  See DESIGN.md
+("Parallel execution: the coordinator/pool contract").
+"""
+
+from .pool import DEFAULT_POOL_WORKERS, VertexPool, fork_available
+
+__all__ = ["DEFAULT_POOL_WORKERS", "VertexPool", "fork_available"]

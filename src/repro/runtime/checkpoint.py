@@ -251,10 +251,9 @@ class RecoveryManager:
                 )
         return {
             "time": cluster.sim.now,
-            "vertices": {
-                (stage.index, index): vertex.checkpoint()
-                for (stage, index), vertex in cluster.vertices.items()
-            },
+            # Under the mp backend this pulls pool-resident state over
+            # the pipes — the barrier has already drained the pool.
+            "vertices": cluster.checkpoint_vertex_states(),
             "pending": {
                 w.index: dict(w.pending_notifications) for w in cluster.workers
             },

@@ -19,6 +19,7 @@ property — never precedes the true global frontier.
 
 from __future__ import annotations
 
+import os
 import warnings
 from collections import deque
 from dataclasses import dataclass
@@ -185,7 +186,10 @@ class _Worker:
             pointstamp = Pointstamp(out_time, connector)
             for dest, batch in shares:
                 self._updates.append((pointstamp, +1))
-                self._dispatches.append((connector, dest, batch, out_time))
+                # -1 size sentinel: "not yet computed"; _step's
+                # serialization pass fills it in.  Pool children record
+                # dispatches with the size precomputed instead.
+                self._dispatches.append((connector, dest, batch, out_time, -1))
 
     def request_notification(
         self, vertex: Vertex, timestamp: Timestamp, capability: bool = True
@@ -287,26 +291,19 @@ class _Worker:
                 return pointstamp
         return None
 
-    def _step(self) -> None:
-        if self.dead:
-            return
-        self._scheduled = False
-        cluster = self.cluster
-        now = cluster.sim.now
-        start = max(now, self.busy_until, cluster.network.process_available_at(self.process))
-        if start > now:
-            self._scheduled = True
-            cluster.sim.schedule_at(start, self._step)
-            return
-        cost_model = cluster.cost_model
-        self._updates = []
-        self._dispatches = []
-        cost = 0.0
-        trace = cluster._trace
-        wall = perf_counter() if trace is not None else 0.0
-        span = None
+    def _select(self) -> Optional[Tuple]:
+        """Dequeue this worker's next unit of work, or None if idle.
+
+        Returns ``("recv", connector, records, timestamp, remote_bytes)``,
+        ``("notify", pointstamp)`` or ``("cleanup", pointstamp)``, with
+        the queue / pending tables already decremented.  Called either
+        by :meth:`_step` (inline backend) or at prefetch time by the
+        :class:`repro.parallel.VertexPool` dispatcher — selection state
+        cannot change between prefetch and execution within one
+        same-instant batch, so both call sites pick identical work.
+        """
         if self.queue:
-            if cluster.scheduling == "earliest" and len(self.queue) > 1:
+            if self.cluster.scheduling == "earliest" and len(self.queue) > 1:
                 # Section 3.2's alternative policy: deliver the message
                 # with the earliest pointstamp to cut end-to-end latency.
                 index = min(
@@ -318,14 +315,94 @@ class _Worker:
                 self.queue.rotate(index)
             else:
                 connector, records, timestamp, remote_bytes = self.queue.popleft()
+            return ("recv", connector, records, timestamp, remote_bytes)
+        pointstamp = self._deliverable_notification()
+        if pointstamp is not None:
+            remaining = self.pending_notifications[pointstamp] - 1
+            if remaining:
+                self.pending_notifications[pointstamp] = remaining
+            else:
+                del self.pending_notifications[pointstamp]
+            return ("notify", pointstamp)
+        pointstamp = self._deliverable_cleanup()
+        if pointstamp is None:
+            return None
+        remaining = self.pending_cleanups[pointstamp] - 1
+        if remaining:
+            self.pending_cleanups[pointstamp] = remaining
+        else:
+            del self.pending_cleanups[pointstamp]
+        return ("cleanup", pointstamp)
+
+    def _apply_effects(self, vertex: Vertex, effects: List[Tuple]) -> None:
+        """Replay the effects a pool child recorded while executing a
+        callback, in callback order, through the same bookkeeping the
+        inline path uses — updates and dispatches come out identical."""
+        stage = vertex.stage
+        for effect in effects:
+            if effect[0] == "send":
+                _, output_port, out_time, plan = effect
+                outputs = stage.outputs[output_port]
+                for conn_pos, shares in plan:
+                    connector = outputs[conn_pos]
+                    pointstamp = Pointstamp(out_time, connector)
+                    for dest, batch, nbytes in shares:
+                        self._updates.append((pointstamp, +1))
+                        self._dispatches.append(
+                            (connector, dest, batch, out_time, nbytes)
+                        )
+            else:
+                _, timestamp, capability = effect
+                pointstamp = Pointstamp(timestamp, stage)
+                if capability:
+                    self._updates.append((pointstamp, +1))
+                    self.pending_notifications[pointstamp] = (
+                        self.pending_notifications.get(pointstamp, 0) + 1
+                    )
+                else:
+                    self.pending_cleanups[pointstamp] = (
+                        self.pending_cleanups.get(pointstamp, 0) + 1
+                    )
+
+    def _step(self) -> None:
+        if self.dead:
+            return
+        self._scheduled = False
+        cluster = self.cluster
+        now = cluster.sim.now
+        start = max(now, self.busy_until, cluster.network.process_available_at(self.process))
+        if start > now:
+            # Re-arm for later; an unconsumed pool claim (if any) stays
+            # valid and is executed when the deferred step runs.
+            self._scheduled = True
+            cluster.sim.schedule_at(start, self._step)
+            return
+        pool = cluster.pool
+        claim = pool.take_claim(self) if pool is not None else None
+        work = claim.work if claim is not None else self._select()
+        if work is None:
+            return
+        offloaded = claim is not None and claim.offloaded
+        cost_model = cluster.cost_model
+        self._updates = []
+        self._dispatches = []
+        cost = 0.0
+        trace = cluster._trace
+        wall = perf_counter() if trace is not None else 0.0
+        span = None
+        if work[0] == "recv":
+            _, connector, records, timestamp, remote_bytes = work
             vertex = cluster.vertices[(connector.dst, self.index)]
-            self._frame_time = timestamp
-            self._frame_stage = connector.dst
-            try:
-                vertex.on_recv(connector.dst_port, records, timestamp)
-            finally:
-                self._frame_time = None
-                self._frame_stage = None
+            if offloaded:
+                self._apply_effects(vertex, claim.effects)
+            else:
+                self._frame_time = timestamp
+                self._frame_stage = connector.dst
+                try:
+                    vertex.on_recv(connector.dst_port, records, timestamp)
+                finally:
+                    self._frame_time = None
+                    self._frame_stage = None
             self._updates.append((Pointstamp(timestamp, connector), -1))
             self.delivered_messages += 1
             cost += (
@@ -341,73 +418,49 @@ class _Worker:
                     (record_count(records), connector.dst_port),
                 )
         else:
-            pointstamp = self._deliverable_notification()
-            if pointstamp is not None:
-                remaining = self.pending_notifications[pointstamp] - 1
-                if remaining:
-                    self.pending_notifications[pointstamp] = remaining
-                else:
-                    del self.pending_notifications[pointstamp]
-                vertex = cluster.vertices[(pointstamp.location, self.index)]
-                self._frame_time = pointstamp.timestamp
-                self._frame_stage = pointstamp.location
-                try:
-                    vertex.on_notify(pointstamp.timestamp)
-                finally:
-                    self._frame_time = None
-                    self._frame_stage = None
-                self._updates.append((pointstamp, -1))
-                self.delivered_notifications += 1
-                cost += cost_model.notification_cost
-                if trace is not None:
-                    span = (
-                        "notification",
-                        pointstamp.location.name,
-                        pointstamp.timestamp,
-                        (),
-                    )
+            kind, pointstamp = work
+            vertex = cluster.vertices[(pointstamp.location, self.index)]
+            if offloaded:
+                self._apply_effects(vertex, claim.effects)
             else:
-                pointstamp = self._deliverable_cleanup()
-                if pointstamp is None:
-                    self._updates = None
-                    self._dispatches = None
-                    return
-                remaining = self.pending_cleanups[pointstamp] - 1
-                if remaining:
-                    self.pending_cleanups[pointstamp] = remaining
-                else:
-                    del self.pending_cleanups[pointstamp]
-                vertex = cluster.vertices[(pointstamp.location, self.index)]
                 self._frame_time = pointstamp.timestamp
                 self._frame_stage = pointstamp.location
-                self._frame_capability = False
+                if kind == "cleanup":
+                    self._frame_capability = False
                 try:
                     vertex.on_notify(pointstamp.timestamp)
                 finally:
                     self._frame_time = None
                     self._frame_stage = None
                     self._frame_capability = True
-                self.delivered_notifications += 1
-                cost += cost_model.notification_cost
-                if trace is not None:
-                    span = (
-                        "cleanup",
-                        pointstamp.location.name,
-                        pointstamp.timestamp,
-                        (),
-                    )
+            if kind == "notify":
+                self._updates.append((pointstamp, -1))
+            self.delivered_notifications += 1
+            cost += cost_model.notification_cost
+            if trace is not None:
+                span = (
+                    "notification" if kind == "notify" else "cleanup",
+                    pointstamp.location.name,
+                    pointstamp.timestamp,
+                    (),
+                )
 
         # Sender-side serialization and (optionally) logging costs.  The
         # batch size is computed once here and carried on the dispatch
         # tuple, so _commit's network sends reuse it instead of paying a
-        # second cost-model pass over every remote batch.
+        # second cost-model pass over every remote batch.  Dispatches
+        # recorded by a pool child already carry their size (>= 0); the
+        # coordinator then skips the O(records) sizing pass entirely.
         log_bytes = 0
         dispatches = self._dispatches
         for i in range(len(dispatches)):
-            connector, dest, batch, out_time = dispatches[i]
+            connector, dest, batch, out_time, presize = dispatches[i]
             if cluster.worker_process(dest) != self.process:
-                size = batch_bytes(batch, cost_model.record_bytes)
-                cluster.batch_bytes_calls += 1
+                if presize >= 0:
+                    size = presize
+                else:
+                    size = batch_bytes(batch, cost_model.record_bytes)
+                    cluster.batch_bytes_calls += 1
                 cost += cost_model.serialize_per_byte * size
                 log_bytes += size + cluster.fault_tolerance.log_bytes_per_batch
             else:
@@ -439,6 +492,22 @@ class _Worker:
                     span[3],
                 )
             )
+            if offloaded:
+                # Per-pool-worker timeline: which pool rank executed the
+                # callback body and how much real CPU it burned there.
+                trace.emit(
+                    TraceEvent(
+                        "pool",
+                        start,
+                        cost,
+                        wall,
+                        self.index,
+                        claim.pool_rank,
+                        span[1],
+                        timestamp_tuple(span[2]),
+                        (work[0], claim.child_wall),
+                    )
+                )
         cluster.sim.schedule_at(finish, lambda: self._commit(updates, dispatches))
 
     def _commit(
@@ -497,11 +566,33 @@ class ClusterComputation(Computation):
         fault_tolerance: Optional[FaultTolerance] = None,
         scheduling: str = "fifo",
         seed: int = 0,
+        backend: Optional[str] = None,
+        pool_workers: Optional[int] = None,
     ):
         super().__init__()
         if scheduling not in ("fifo", "earliest"):
             raise ValueError("scheduling must be 'fifo' or 'earliest'")
         self.scheduling = scheduling
+        # Execution backend: "inline" runs vertex callbacks on the DES
+        # thread; "mp" runs them in a persistent fork pool with
+        # bit-identical virtual-time results (see repro.parallel).
+        # Defaults come from REPRO_BACKEND / REPRO_POOL_WORKERS so CI
+        # and benchmarks can switch without touching call sites.
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND", "inline")
+        if backend not in ("inline", "mp"):
+            raise ValueError(
+                "backend must be 'inline' or 'mp' (got %r)" % (backend,)
+            )
+        self.backend = backend
+        if pool_workers is None:
+            env_workers = os.environ.get("REPRO_POOL_WORKERS")
+            pool_workers = int(env_workers) if env_workers else None
+        self.pool_workers = pool_workers
+        #: The mp backend's VertexPool; created lazily on the first
+        #: run()/step()/checkpoint() after build(), so the fork captures
+        #: the fully constructed physical graph.
+        self.pool = None
         self.num_processes = num_processes
         self.workers_per_process = workers_per_process
         self.total_workers = num_processes * workers_per_process
@@ -767,7 +858,24 @@ class ClusterComputation(Computation):
     # Execution.
     # ------------------------------------------------------------------
 
-    def step(self) -> bool:  # pragma: no cover - thin alias
+    def _ensure_pool(self) -> None:
+        if self.backend != "mp" or self.pool is not None:
+            return
+        from ..parallel import DEFAULT_POOL_WORKERS, VertexPool
+
+        self.pool = VertexPool(self, self.pool_workers or DEFAULT_POOL_WORKERS)
+        self.sim.dispatcher = self.pool
+
+    def close(self) -> None:
+        """Shut down the execution backend (the mp pool's children)."""
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+            self.sim.dispatcher = None
+
+    def step(self) -> bool:
+        if self._built:
+            self._ensure_pool()
         return self.sim.step()
 
     def run(
@@ -794,6 +902,7 @@ class ClusterComputation(Computation):
             if max_steps is None:
                 max_steps = max_events
         self._check_built()
+        self._ensure_pool()
         start = self.sim.now
         self.sim.run(until=until, max_events=max_steps)
         return self.sim.now - start
@@ -916,6 +1025,7 @@ class ClusterComputation(Computation):
         """
         self._check_built()
         self._check_not_in_event("checkpoint")
+        self._ensure_pool()
         recovery = self.recovery
         while True:
             self.sim.run()
@@ -925,6 +1035,24 @@ class ClusterComputation(Computation):
             if self.sim.pending_events == 0 and recovery.quiescent():
                 break
         return recovery.complete_checkpoint()
+
+    def checkpoint_vertex_states(self) -> Dict[Tuple[int, int], Any]:
+        """Snapshot every vertex's state, keyed ``(stage.index, worker)``.
+
+        Under the mp backend the authoritative state of pool-executed
+        vertices lives in the pool children; those are pulled over the
+        pipes first and the coordinator-pinned remainder (system stages,
+        ``coordinator_only`` vertices) fills in locally.  The caller
+        guarantees quiescence.
+        """
+        states: Dict[Tuple[int, int], Any] = (
+            self.pool.checkpoint_states() if self.pool is not None else {}
+        )
+        for (stage, index), vertex in self.vertices.items():
+            key = (stage.index, index)
+            if key not in states:
+                states[key] = vertex.checkpoint()
+        return states
 
     def restore(self, snapshot: Dict[str, Any]) -> None:
         """Roll the cluster back to ``snapshot`` and replay the input
@@ -1004,12 +1132,20 @@ class ClusterComputation(Computation):
         self._rebuild_process_index()
         for (stage, index), vertex in self.vertices.items():
             vertex._harness = self.workers[index]
+        if self.pool is not None:
+            # Claims and in-flight tasks reference the dead workers;
+            # drain and drop them before the snapshot is shipped back.
+            self.pool.reset()
 
     def _restore_snapshot(self, snapshot: Dict[str, Any]) -> None:
         """Load a consistent cut into the (freshly rebuilt) cluster."""
         by_index = {stage.index: stage for stage in self.graph.stages}
         for (stage_index, worker_index), state in snapshot["vertices"].items():
             self.vertices[(by_index[stage_index], worker_index)].restore(state)
+        if self.pool is not None:
+            # The children's resident copies are the authoritative ones
+            # for pool-executed vertices; roll those back too.
+            self.pool.restore_states(snapshot["vertices"])
         for worker in self.workers:
             worker.pending_notifications = dict(
                 snapshot["pending"].get(worker.index, {})

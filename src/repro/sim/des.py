@@ -45,6 +45,17 @@ class Simulator:
         #: already sorted by the (time, sequence) dispatch key.
         self._lane: Deque[Tuple[float, int, Callable[[], None]]] = deque()
         self._background: List[Tuple[float, int, Callable[[], None]]] = []
+        #: Events claimed by the dispatcher for the current virtual
+        #: instant; consumed before the lane and the heap.  Entries were
+        #: the head run of the merged (time, sequence) order when they
+        #: were staged, so draining this deque first preserves the exact
+        #: inline execution order.
+        self._staged: Deque[Tuple[float, int, Callable[[], None]]] = deque()
+        #: Execution-backend hook (see repro.parallel.VertexPool): an
+        #: object with ``prefetch(sim)``, called before dispatching the
+        #: next event whenever nothing is staged.  None (the default)
+        #: costs nothing on the hot path.
+        self.dispatcher = None
         self._sequence = 0
         self._events_executed = 0
         self.in_event = False
@@ -93,7 +104,10 @@ class Simulator:
 
     def _pop_next(self) -> Tuple[float, int, Callable[[], None]]:
         """Pop the earliest event by ``(time, sequence)`` across the
-        heap and the fast lane.  The caller guarantees one is nonempty."""
+        staged batch, the heap and the fast lane.  The caller guarantees
+        one is nonempty."""
+        if self._staged:
+            return self._staged.popleft()
         if not self._lane:
             return heapq.heappop(self._queue)
         if not self._queue:
@@ -106,9 +120,46 @@ class Simulator:
             return self._lane.popleft()
         return heapq.heappop(self._queue)
 
+    def stage_events(
+        self, match: Callable[[Callable[[], None]], bool]
+    ) -> List[Tuple[float, int, Callable[[], None]]]:
+        """Move the maximal run of next events, all at one virtual
+        instant and all with callbacks satisfying ``match``, into the
+        staged deque; returns the staged entries.
+
+        The staged run is exactly the head of the merged
+        ``(time, sequence)`` order, and :meth:`_pop_next` drains the
+        staged deque first, so execution order is unchanged — staging
+        only lets a dispatcher *see* the batch before it runs.  The
+        first non-matching (or later-instant) event encountered is
+        pushed back where it came from.
+        """
+        staged = self._staged
+        batch_time = None
+        while self._queue or self._lane:
+            lane_head = self._lane[0] if self._lane else None
+            if lane_head is not None and (
+                not self._queue or lane_head[:2] < self._queue[0][:2]
+            ):
+                entry = self._lane.popleft()
+                from_lane = True
+            else:
+                entry = heapq.heappop(self._queue)
+                from_lane = False
+            if batch_time is None:
+                batch_time = entry[0]
+            if entry[0] != batch_time or not match(entry[2]):
+                if from_lane:
+                    self._lane.appendleft(entry)
+                else:
+                    heapq.heappush(self._queue, entry)
+                break
+            staged.append(entry)
+        return list(staged)
+
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
-        if not self._queue and not self._lane:
+        if not self._queue and not self._lane and not self._staged:
             return False
         horizon = self._peek_time()
         self.in_event = True
@@ -118,6 +169,11 @@ class Simulator:
                 self.now = max(self.now, time)
                 callback()
                 horizon = self._peek_time()
+            # Background work for this instant has fired; a dispatcher
+            # may now batch the head run of same-instant events (and
+            # claim work for its pool) without reordering anything.
+            if self.dispatcher is not None and not self._staged:
+                self.dispatcher.prefetch(self)
             time, _, callback = self._pop_next()
             self.now = max(self.now, time)
             callback()
@@ -141,8 +197,26 @@ class Simulator:
         trace = self.trace
         start_now = self.now
         wall = perf_counter() if trace is not None else 0.0
-        while self._queue or self._lane:
+        while self._queue or self._lane or self._staged:
             if until is not None and self._peek_time() > until:
+                # Background events due at or before the stop time must
+                # still fire: the clock passes through their due times
+                # on its way to `until`.  A background callback may
+                # schedule new foreground work <= until, so re-check
+                # the loop condition instead of stopping outright.
+                if self._background and self._background[0][0] <= until:
+                    self.in_event = True
+                    try:
+                        while (
+                            self._background
+                            and self._background[0][0] <= until
+                        ):
+                            time, _, callback = heapq.heappop(self._background)
+                            self.now = max(self.now, time)
+                            callback()
+                    finally:
+                        self.in_event = False
+                    continue
                 self.now = until
                 break
             if max_events is not None and executed >= max_events:
@@ -167,7 +241,10 @@ class Simulator:
 
     def _peek_time(self) -> float:
         """Virtual time of the earliest pending foreground event; the
-        caller guarantees the queue or the lane is nonempty."""
+        caller guarantees the staged deque, the queue or the lane is
+        nonempty."""
+        if self._staged:
+            return self._staged[0][0]
         if not self._lane:
             return self._queue[0][0]
         if not self._queue:
@@ -176,7 +253,7 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue) + len(self._lane)
+        return len(self._queue) + len(self._lane) + len(self._staged)
 
     @property
     def next_event_time(self) -> Optional[float]:
@@ -187,7 +264,7 @@ class Simulator:
         probe) to re-poll exactly when something next happens instead of
         busy-waiting in virtual time.
         """
-        if not self._queue and not self._lane:
+        if not self._queue and not self._lane and not self._staged:
             return None
         return self._peek_time()
 
@@ -198,5 +275,5 @@ class Simulator:
     def __repr__(self) -> str:
         return "Simulator(now=%.6f, pending=%d)" % (
             self.now,
-            len(self._queue) + len(self._lane),
+            self.pending_events,
         )

@@ -17,7 +17,10 @@ from repro.runtime import ClusterComputation
 class PurgingVertex(Vertex):
     """Forwards eagerly; uses a capability-free notification to purge."""
 
-    # The log is shared with the test; keep it out of checkpoints.
+    # The log is shared with the test; keep it out of checkpoints and
+    # pin the vertex to the coordinator under the multiprocessing
+    # backend so the driver-side list actually sees the appends.
+    coordinator_only = True
     _TRANSIENT_ATTRS = Vertex._TRANSIENT_ATTRS + ("log",)
 
     def __init__(self, log):

@@ -152,6 +152,10 @@ class TestRuntimeEquivalence:
 class RecordingVertex(Vertex):
     """Buffers per time and logs callback order for safety checking."""
 
+    # The log list is shared with the test driver; run on the
+    # coordinator so appends are visible under the mp backend.
+    coordinator_only = True
+
     def __init__(self, log):
         super().__init__()
         self.log = log
@@ -289,6 +293,8 @@ class TestPartitioning:
         received = []
 
         class Sink(Vertex):
+            coordinator_only = True  # appends to the driver-side list
+
             def on_recv(self, port, records, t):
                 for r in records:
                     received.append((r.dest, self.worker))

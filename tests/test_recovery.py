@@ -129,7 +129,9 @@ CASES = {
 }
 
 
-def run_cluster(case, shape, ft=None, kill=None, network=None, seed=0, **kwargs):
+def run_cluster(
+    case, shape, ft=None, kill=None, network=None, seed=0, trace=None, **kwargs
+):
     program, epochs = CASES[case]
     procs, wpp = shape
     comp = ClusterComputation(
@@ -140,6 +142,8 @@ def run_cluster(case, shape, ft=None, kill=None, network=None, seed=0, **kwargs)
         seed=seed,
         **kwargs
     )
+    if trace is not None:
+        comp.attach_trace_sink(trace)
     inp, out = program(comp)
     comp.build()
     if kill is not None:

@@ -60,6 +60,33 @@ class TestSimulator:
         sim.run()
         assert log == [1, 2]
 
+    def test_run_until_fires_due_background_events(self):
+        # Regression: `run(until=...)` used to jump the clock straight
+        # to `until`, skipping background events whose due times the
+        # clock passes through on the way there.
+        sim = Simulator()
+        log = []
+        sim.schedule_background(1.0, lambda: log.append(("bg", sim.now)))
+        sim.schedule(2.0, lambda: log.append(("fg", sim.now)))
+        sim.run(until=1.5)
+        assert log == [("bg", 1.0)]
+        assert sim.now == 1.5
+        sim.run()
+        assert log == [("bg", 1.0), ("fg", 2.0)]
+
+    def test_run_until_background_may_schedule_foreground(self):
+        # A background callback that enqueues foreground work due
+        # before `until` must see that work executed in the same run.
+        sim = Simulator()
+        log = []
+        sim.schedule_background(
+            1.0, lambda: sim.schedule_at(1.2, lambda: log.append(sim.now))
+        )
+        sim.schedule(2.0, lambda: log.append(sim.now))
+        sim.run(until=1.5)
+        assert log == [1.2]
+        assert sim.now == 1.5
+
     def test_max_events(self):
         sim = Simulator()
         log = []
