@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
 from ..lib.stream import Loop, Stream, hash_partitioner
+from ..opt.plan import OpSpec
 
 
 class MinLabelVertex(Vertex):
@@ -126,6 +127,12 @@ def label_propagation(
         2,
         context=loop.context,
     )
+    # Label propagation is monotone (labels only decrease) and processes
+    # records one at a time, so merging adjacent deliveries of arcs or
+    # proposals cannot change the labels it settles on — declare it
+    # batchable so the optimizer's coalescing pass can collapse the
+    # proposal fan-in, the dominant source of DES events in the loop.
+    stage.opspec = OpSpec("minlabel", fusable=False, batchable=True)
     arcs.enter(loop).connect_to(
         stage, 0, partitioner=hash_partitioner(lambda arc: arc[0])
     )

@@ -16,6 +16,7 @@ examples and correctness tests; the simulated distributed runtime in
 
 from __future__ import annotations
 
+import os
 import warnings
 from collections import deque
 from time import perf_counter
@@ -82,7 +83,25 @@ class Computation(TimelyRuntime):
     #: Parallelism visible to vertices (the reference runtime has one worker).
     total_workers = 1
 
-    def __init__(self, eager_delivery: bool = False, max_eager_depth: int = 16):
+    def __init__(
+        self,
+        eager_delivery: bool = False,
+        max_eager_depth: int = 16,
+        optimize: Optional[Any] = None,
+    ):
+        # Plan optimization (repro.opt): True compiles the graph through
+        # the default pass pipeline at build() time, a sequence supplies
+        # custom passes, False disables.  None falls back to the
+        # REPRO_FUSION environment variable, so CI and benchmarks flip
+        # the optimizer without touching call sites.
+        if optimize is None:
+            from ..opt.passes import parse_optimize_env
+
+            optimize = parse_optimize_env(os.environ.get("REPRO_FUSION"))
+        self.optimize = optimize
+        #: The compiled :class:`repro.opt.plan.PhysicalPlan` (None until
+        #: build(), or when optimization is off).
+        self.plan = None
         self.graph = DataflowGraph()
         self.vertices: Dict[Stage, Vertex] = {}
         self.inputs: List[InputHandle] = []
@@ -225,10 +244,31 @@ class Computation(TimelyRuntime):
     # Build.
     # ------------------------------------------------------------------
 
+    def _apply_optimizer(self) -> None:
+        """Compile the logical plan through repro.opt (when enabled).
+
+        Runs immediately before ``freeze()`` in both runtimes; the
+        rewritten graph is what gets validated, summarised and expanded
+        into vertices.  The resulting :class:`PhysicalPlan` is kept on
+        ``self.plan`` for ``explain()``/``to_dot()`` inspection.
+        """
+        if not self.optimize or self.graph.frozen:
+            return
+        from ..opt.passes import compile_plan
+
+        passes = None if self.optimize is True else self.optimize
+        self.plan = compile_plan(
+            self.graph,
+            total_workers=self.total_workers,
+            passes=passes,
+            trace=self._trace,
+        )
+
     def build(self) -> None:
         """Validate the graph, compute summaries, instantiate vertices."""
         if self._built:
             return
+        self._apply_optimizer()
         self.graph.freeze()
         self.progress = ProgressState(self.graph.summaries)
         for stage in self.graph.stages:

@@ -5,6 +5,11 @@ as nested clusters and the system stages (ingress/egress/feedback)
 visually distinguished — handy when debugging graph construction or
 documenting a dataflow's shape.
 
+Stages the plan optimizer fused (``repro.opt``; their ``opspec``
+carries constituent names) render as their own cluster containing the
+original operators chained left to right, so an optimized graph shows
+both the physical stage boundary and what was merged into it.
+
 The output is plain text; render it with ``dot -Tsvg`` or any Graphviz
 viewer.  No Graphviz dependency is required to generate it.
 """
@@ -28,13 +33,29 @@ def _escape(text: str) -> str:
     return text.replace('"', '\\"')
 
 
+def _constituents(stage: Stage) -> tuple:
+    """The operator names a fused super-vertex absorbed, or ()."""
+    spec = getattr(stage, "opspec", None)
+    if spec is not None and spec.constituents:
+        return tuple(spec.constituents)
+    return ()
+
+
 def to_dot(graph: DataflowGraph, name: str = "dataflow") -> str:
     """Render the logical graph (stages and connectors) as DOT text."""
+    fused = {
+        stage: _constituents(stage)
+        for stage in graph.stages
+        if _constituents(stage)
+    }
     lines: List[str] = [
         'digraph "%s" {' % _escape(name),
         "  rankdir=LR;",
         "  node [fontsize=10];",
     ]
+    if fused:
+        # lhead/ltail anchors below clip edges at the fused clusters.
+        lines.append("  compound=true;")
 
     by_context: Dict[Optional[LoopContext], List[Stage]] = {}
     for stage in graph.stages:
@@ -42,6 +63,29 @@ def to_dot(graph: DataflowGraph, name: str = "dataflow") -> str:
 
     def emit_context(context: Optional[LoopContext], indent: str) -> None:
         for stage in by_context.get(context, ()):
+            parts = fused.get(stage)
+            if parts:
+                # A fused super-vertex: a cluster listing the original
+                # operators, chained in pipeline order.
+                lines.append(
+                    "%s  subgraph cluster_fused_%d {" % (indent, stage.index)
+                )
+                lines.append(
+                    '%s    label="fused #%d"; color="#bb7733"; style=rounded;'
+                    % (indent, stage.index)
+                )
+                for position, part in enumerate(parts):
+                    lines.append(
+                        '%s    s%d_p%d [label="%s" shape=box];'
+                        % (indent, stage.index, position, _escape(part))
+                    )
+                for position in range(len(parts) - 1):
+                    lines.append(
+                        '%s    s%d_p%d -> s%d_p%d [color="#bb7733"];'
+                        % (indent, stage.index, position, stage.index, position + 1)
+                    )
+                lines.append("%s  }" % indent)
+                continue
             label = "%s\\n#%d" % (_escape(stage.name), stage.index)
             style = ' style="filled" fillcolor="#eeeeee"' if (
                 stage.kind is not StageKind.NORMAL
@@ -62,6 +106,14 @@ def to_dot(graph: DataflowGraph, name: str = "dataflow") -> str:
 
     emit_context(None, "")
 
+    def endpoint(stage: Stage, outgoing: bool) -> str:
+        """Node id an edge attaches to (last/first part for fused)."""
+        parts = fused.get(stage)
+        if not parts:
+            return "s%d" % stage.index
+        position = len(parts) - 1 if outgoing else 0
+        return "s%d_p%d" % (stage.index, position)
+
     for connector in graph.connectors:
         attributes = []
         if connector.partitioner is not None:
@@ -70,11 +122,15 @@ def to_dot(graph: DataflowGraph, name: str = "dataflow") -> str:
             connector.dst.kind is StageKind.FEEDBACK
         ):
             attributes.append("style=dashed")
+        if connector.src in fused:
+            attributes.append("ltail=cluster_fused_%d" % connector.src.index)
+        if connector.dst in fused:
+            attributes.append("lhead=cluster_fused_%d" % connector.dst.index)
         lines.append(
-            "  s%d -> s%d%s;"
+            "  %s -> %s%s;"
             % (
-                connector.src.index,
-                connector.dst.index,
+                endpoint(connector.src, True),
+                endpoint(connector.dst, False),
                 " [%s]" % " ".join(attributes) if attributes else "",
             )
         )

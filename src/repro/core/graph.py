@@ -71,6 +71,7 @@ class Stage:
         "context",
         "inputs",
         "outputs",
+        "opspec",
     )
 
     def __init__(
@@ -96,6 +97,10 @@ class Stage:
         self.inputs: List[Optional[Connector]] = [None] * num_inputs
         #: outgoing connectors per output port (fan-out allowed).
         self.outputs: List[List[Connector]] = [[] for _ in range(num_outputs)]
+        #: Optional operator metadata (:class:`repro.opt.plan.OpSpec`)
+        #: attached by the builder layer; None means "opaque stage" and
+        #: the optimizer leaves it untouched.
+        self.opspec = None
 
     # ------------------------------------------------------------------
     # Loop-context bookkeeping.  System stages straddle a context
@@ -150,7 +155,16 @@ class Connector:
     worker (a "pipeline" connection).
     """
 
-    __slots__ = ("graph", "index", "src", "src_port", "dst", "dst_port", "partitioner")
+    __slots__ = (
+        "graph",
+        "index",
+        "src",
+        "src_port",
+        "dst",
+        "dst_port",
+        "partitioner",
+        "coalesce",
+    )
 
     def __init__(
         self,
@@ -169,6 +183,11 @@ class Connector:
         self.dst = dst
         self.dst_port = dst_port
         self.partitioner = partitioner
+        #: Set by the optimizer's batching pass: the destination vertex
+        #: tolerates merged deliveries, so the runtime may coalesce
+        #: adjacent same-(connector, timestamp) queue entries into one
+        #: callback (see ``_Worker._select``).
+        self.coalesce = False
 
     @property
     def depth(self) -> int:

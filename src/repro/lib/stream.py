@@ -27,16 +27,61 @@ from ..core.computation import Computation, InputHandle
 from ..core.graph import LoopContext, Stage
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
+from ..opt.plan import HashPartitioner, OpSpec
 from . import operators as ops
 
 
-def hash_partitioner(key: Callable[[Any], Any]) -> Callable[[Any], int]:
-    """Route records with equal ``key`` to the same downstream vertex."""
+def hash_partitioner(key: Callable[[Any], Any]) -> HashPartitioner:
+    """Route records with equal ``key`` to the same downstream vertex.
 
-    def partition(record: Any) -> int:
-        return hash(key(record))
+    Returns a :class:`repro.opt.plan.HashPartitioner`, whose structural
+    equality (same key selector) lets the optimizer's exchange-elision
+    pass prove when two exchanges route identically.
+    """
+    return HashPartitioner(key)
 
-    return partition
+
+def _identity(record: Any) -> Any:
+    return record
+
+
+def _single_partition(record: Any) -> int:
+    return 0
+
+
+# Operator metadata consumed by repro.opt.  ``fusable`` marks the
+# 1-in/1-out library vertices whose callback discipline the fusion pass
+# relies on; ``batchable`` grants batch coalescing on input connectors;
+# ``preserves_partitioning`` marks subset operators for exchange
+# elision.  ``inspect`` is deliberately neither fusable (its per-batch
+# probe callback is driver-side, coordinator_only) nor batchable (the
+# probe observes batch boundaries).
+_OPSPECS = {
+    "select": ("select", True, True, False),
+    "where": ("where", True, True, True),
+    "select_many": ("select_many", True, True, False),
+    "concat": ("concat", False, True, True),
+    "inspect": ("inspect", False, False, True),
+    "distinct": ("distinct", True, True, True),
+    "group_by": ("group_by", True, True, False),
+    "count_by": ("count_by", True, True, False),
+    "aggregate_by": ("aggregate_by", True, True, False),
+    "buffered": ("buffered", True, True, False),
+    "binary_buffered": ("binary_buffered", False, True, False),
+    "join": ("join", False, True, False),
+    "probe": ("probe", False, True, False),
+    "subscribe": ("subscribe", False, True, False),
+}
+
+
+def _opspec(kind: str) -> OpSpec:
+    kind, fusable, batchable, preserving = _OPSPECS[kind]
+    return OpSpec(
+        kind,
+        fusable=fusable,
+        batchable=batchable,
+        preserves_partitioning=preserving,
+    )
 
 
 class Stream:
@@ -69,14 +114,17 @@ class Stream:
         factory: Callable[[], Vertex],
         num_inputs: int = 1,
         num_outputs: int = 1,
+        opspec: Optional[OpSpec] = None,
     ) -> Stage:
-        return self.computation.graph.new_stage(
+        stage = self.computation.graph.new_stage(
             name,
             lambda stage, worker: factory(),
             num_inputs,
             num_outputs,
             context=self.context,
         )
+        stage.opspec = opspec
+        return stage
 
     def _unary(
         self,
@@ -84,8 +132,9 @@ class Stream:
         factory: Callable[[], Vertex],
         partitioner: Optional[Callable[[Any], int]] = None,
         num_outputs: int = 1,
+        opspec: Optional[OpSpec] = None,
     ) -> "Stream":
-        stage = self._add_stage(name, factory, 1, num_outputs)
+        stage = self._add_stage(name, factory, 1, num_outputs, opspec=opspec)
         self.computation.graph.connect(self.stage, self.port, stage, 0, partitioner)
         return Stream(self.computation, stage, 0)
 
@@ -107,20 +156,26 @@ class Stream:
     # ------------------------------------------------------------------
 
     def select(self, function: Callable[[Any], Any], name: str = "select") -> "Stream":
-        return self._unary(name, lambda: ops.SelectVertex(function))
+        return self._unary(
+            name, lambda: ops.SelectVertex(function), opspec=_opspec("select")
+        )
 
     def where(self, predicate: Callable[[Any], bool], name: str = "where") -> "Stream":
-        return self._unary(name, lambda: ops.WhereVertex(predicate))
+        return self._unary(
+            name, lambda: ops.WhereVertex(predicate), opspec=_opspec("where")
+        )
 
     def select_many(
         self, function: Callable[[Any], Iterable[Any]], name: str = "select_many"
     ) -> "Stream":
-        return self._unary(name, lambda: ops.SelectManyVertex(function))
+        return self._unary(
+            name, lambda: ops.SelectManyVertex(function), opspec=_opspec("select_many")
+        )
 
     def concat(self, other: "Stream", name: str = "concat") -> "Stream":
         if other.context is not self.context:
             raise ValueError("concat requires streams in the same loop context")
-        stage = self._add_stage(name, ops.ConcatVertex, 2, 1)
+        stage = self._add_stage(name, ops.ConcatVertex, 2, 1, opspec=_opspec("concat"))
         self.connect_to(stage, 0)
         other.connect_to(stage, 1)
         return Stream(self.computation, stage, 0)
@@ -128,7 +183,9 @@ class Stream:
     def inspect(
         self, probe: Callable[[Timestamp, List[Any]], None], name: str = "inspect"
     ) -> "Stream":
-        return self._unary(name, lambda: ops.InspectVertex(probe))
+        return self._unary(
+            name, lambda: ops.InspectVertex(probe), opspec=_opspec("inspect")
+        )
 
     # ------------------------------------------------------------------
     # Coordinated operators.
@@ -136,7 +193,10 @@ class Stream:
 
     def distinct(self, name: str = "distinct") -> "Stream":
         return self._unary(
-            name, ops.DistinctVertex, partitioner=hash_partitioner(lambda r: r)
+            name,
+            ops.DistinctVertex,
+            partitioner=hash_partitioner(_identity),
+            opspec=_opspec("distinct"),
         )
 
     def group_by(
@@ -149,11 +209,15 @@ class Stream:
             name,
             lambda: ops.GroupByVertex(key, reducer),
             partitioner=hash_partitioner(key),
+            opspec=_opspec("group_by"),
         )
 
     def count_by(self, key: Callable[[Any], Any], name: str = "count_by") -> "Stream":
         return self._unary(
-            name, lambda: ops.CountByVertex(key), partitioner=hash_partitioner(key)
+            name,
+            lambda: ops.CountByVertex(key),
+            partitioner=hash_partitioner(key),
+            opspec=_opspec("count_by"),
         )
 
     def aggregate_by(
@@ -167,6 +231,7 @@ class Stream:
             name,
             lambda: ops.AggregateByVertex(key, value, combine),
             partitioner=hash_partitioner(key),
+            opspec=_opspec("aggregate_by"),
         )
 
     def count(self, name: str = "count") -> "Stream":
@@ -174,7 +239,8 @@ class Stream:
         return self._unary(
             name,
             lambda: ops.UnaryBufferingVertex(lambda records: [len(records)]),
-            partitioner=lambda record: 0,
+            partitioner=hash_partitioner(_single_partition),
+            opspec=_opspec("buffered"),
         )
 
     def join(
@@ -187,7 +253,13 @@ class Stream:
     ) -> "Stream":
         if other.context is not self.context:
             raise ValueError("join requires streams in the same loop context")
-        stage = self._add_stage(name, lambda: ops.JoinVertex(left_key, right_key, result), 2, 1)
+        stage = self._add_stage(
+            name,
+            lambda: ops.JoinVertex(left_key, right_key, result),
+            2,
+            1,
+            opspec=_opspec("join"),
+        )
         self.connect_to(stage, 0, hash_partitioner(left_key))
         other.connect_to(stage, 1, hash_partitioner(right_key))
         return Stream(self.computation, stage, 0)
@@ -200,7 +272,10 @@ class Stream:
     ) -> "Stream":
         """Generic coordinated unary operator (section 4.2)."""
         return self._unary(
-            name, lambda: ops.UnaryBufferingVertex(transform), partitioner=partitioner
+            name,
+            lambda: ops.UnaryBufferingVertex(transform),
+            partitioner=partitioner,
+            opspec=_opspec("buffered"),
         )
 
     def binary_buffered(
@@ -218,7 +293,11 @@ class Stream:
         if other.context is not self.context:
             raise ValueError("binary_buffered requires streams in the same context")
         stage = self._add_stage(
-            name, lambda: ops.BinaryBufferingVertex(transform), 2, 1
+            name,
+            lambda: ops.BinaryBufferingVertex(transform),
+            2,
+            1,
+            opspec=_opspec("binary_buffered"),
         )
         self.connect_to(stage, 0, partitioner)
         other.connect_to(stage, 1, partitioner)
@@ -264,7 +343,9 @@ class Stream:
 
         partials = self.buffered(local_top, partitioner=None, name="%s.local" % name)
         return partials.buffered(
-            local_top, partitioner=lambda record: 0, name="%s.global" % name
+            local_top,
+            partitioner=hash_partitioner(_single_partition),
+            name="%s.global" % name,
         )
 
     # ------------------------------------------------------------------
@@ -281,7 +362,7 @@ class Stream:
         answer comes from a local view and is therefore conservative
         (never claims completion early).
         """
-        stage = self._add_stage(name, ops.ProbeVertex, 1, 0)
+        stage = self._add_stage(name, ops.ProbeVertex, 1, 0, opspec=_opspec("probe"))
         self.connect_to(stage, 0)
         return Probe(self.computation, stage)
 
@@ -291,7 +372,9 @@ class Stream:
         name: str = "subscribe",
     ) -> Stage:
         """Invoke ``callback(timestamp, records)`` for each complete time."""
-        stage = self._add_stage(name, lambda: ops.SubscribeVertex(callback), 1, 0)
+        stage = self._add_stage(
+            name, lambda: ops.SubscribeVertex(callback), 1, 0, opspec=_opspec("subscribe")
+        )
         self.connect_to(stage, 0)
         return stage
 

@@ -36,6 +36,10 @@ Event kinds
     a vertex callback body executed in a multiprocessing pool child
     (the ``mp`` backend); the ``process`` field carries the pool rank
     and ``detail`` is ``(callback_kind, child_wall_seconds)``.
+``plan``
+    one optimizer pass ran over the dataflow plan before the graph
+    froze (``repro.opt``); ``operator`` names the pass and ``detail``
+    is ``(rewrites, stages_after, connectors_after)``.
 
 The mapping onto SnailTrail's activity vocabulary lives in
 :data:`ACTIVITY_TYPES` and is documented in DESIGN.md.
@@ -61,6 +65,7 @@ ACTIVITY_TYPES = {
     "failure": "barrier",
     "run": "span",
     "pool": "processing",
+    "plan": "scheduling",
 }
 
 

@@ -294,15 +294,18 @@ class _Worker:
     def _select(self) -> Optional[Tuple]:
         """Dequeue this worker's next unit of work, or None if idle.
 
-        Returns ``("recv", connector, records, timestamp, remote_bytes)``,
-        ``("notify", pointstamp)`` or ``("cleanup", pointstamp)``, with
-        the queue / pending tables already decremented.  Called either
+        Returns ``("recv", connector, records, timestamp, remote_bytes,
+        batches)`` (``batches`` = queue entries consumed, > 1 when batch
+        coalescing merged adjacent deliveries), ``("notify",
+        pointstamp)`` or ``("cleanup", pointstamp)``, with the queue /
+        pending tables already decremented.  Called either
         by :meth:`_step` (inline backend) or at prefetch time by the
         :class:`repro.parallel.VertexPool` dispatcher — selection state
         cannot change between prefetch and execution within one
         same-instant batch, so both call sites pick identical work.
         """
         if self.queue:
+            batches = 1
             if self.cluster.scheduling == "earliest" and len(self.queue) > 1:
                 # Section 3.2's alternative policy: deliver the message
                 # with the earliest pointstamp to cut end-to-end latency.
@@ -315,7 +318,31 @@ class _Worker:
                 self.queue.rotate(index)
             else:
                 connector, records, timestamp, remote_bytes = self.queue.popleft()
-            return ("recv", connector, records, timestamp, remote_bytes)
+                if connector.coalesce and self.queue:
+                    # Batch coalescing (repro.opt hints): merge *adjacent*
+                    # queue entries for the same (connector, timestamp)
+                    # into one delivery, paying the callback overhead
+                    # once.  Adjacency preserves the exact interleaving
+                    # of deliveries from other connectors/times, and the
+                    # pass only hints destinations whose record-sequence
+                    # semantics are batching-insensitive.  FIFO only:
+                    # "earliest" reorders the queue between selections.
+                    queue = self.queue
+                    merged = None
+                    while queue:
+                        head = queue[0]
+                        if head[0] is not connector or head[2] != timestamp:
+                            break
+                        if merged is None:
+                            merged = list(records)
+                        merged.extend(head[1])
+                        remote_bytes += head[3]
+                        queue.popleft()
+                        batches += 1
+                        self.cluster.coalesced_batches += 1
+                    if merged is not None:
+                        records = merged
+            return ("recv", connector, records, timestamp, remote_bytes, batches)
         pointstamp = self._deliverable_notification()
         if pointstamp is not None:
             remaining = self.pending_notifications[pointstamp] - 1
@@ -391,7 +418,7 @@ class _Worker:
         wall = perf_counter() if trace is not None else 0.0
         span = None
         if work[0] == "recv":
-            _, connector, records, timestamp, remote_bytes = work
+            _, connector, records, timestamp, remote_bytes, batches = work
             vertex = cluster.vertices[(connector.dst, self.index)]
             if offloaded:
                 self._apply_effects(vertex, claim.effects)
@@ -403,7 +430,11 @@ class _Worker:
                 finally:
                     self._frame_time = None
                     self._frame_stage = None
-            self._updates.append((Pointstamp(timestamp, connector), -1))
+            # Every coalesced queue entry carried its own +1 occurrence
+            # at dispatch time; retire each one.
+            pointstamp = Pointstamp(timestamp, connector)
+            for _ in range(batches):
+                self._updates.append((pointstamp, -1))
             self.delivered_messages += 1
             cost += (
                 cost_model.callback_overhead
@@ -568,8 +599,9 @@ class ClusterComputation(Computation):
         seed: int = 0,
         backend: Optional[str] = None,
         pool_workers: Optional[int] = None,
+        optimize: Optional[Any] = None,
     ):
-        super().__init__()
+        super().__init__(optimize=optimize)
         if scheduling not in ("fifo", "earliest"):
             raise ValueError("scheduling must be 'fifo' or 'earliest'")
         self.scheduling = scheduling
@@ -622,6 +654,9 @@ class ClusterComputation(Computation):
         #: DES self-profiling counters (see repro.obs.profile).
         self.batch_bytes_calls = 0
         self.stage_cost_calls = 0
+        #: Queue entries merged away by batch coalescing (the
+        #: optimizer's ``Connector.coalesce`` hints; see _Worker._select).
+        self.coalesced_batches = 0
 
     # ------------------------------------------------------------------
     # Configuration.
@@ -636,7 +671,16 @@ class ClusterComputation(Computation):
 
     def stage_record_cost(self, stage: Stage) -> float:
         self.stage_cost_calls += 1
-        return self._stage_costs.get(stage, self.cost_model.per_record_cost)
+        cost = self._stage_costs.get(stage)
+        if cost is not None:
+            return cost
+        cost = self.cost_model.per_record_cost
+        spec = stage.opspec
+        if spec is not None and spec.cost_scale != 1:
+            # A fused stage still runs every constituent's Python per
+            # record; fusion saves per-event overhead, not CPU work.
+            cost *= spec.cost_scale
+        return cost
 
     # ------------------------------------------------------------------
     # Observability (repro.obs).
@@ -691,6 +735,7 @@ class ClusterComputation(Computation):
     def build(self) -> None:
         if self._built:
             return
+        self._apply_optimizer()
         self.graph.freeze()
         summaries = self.graph.summaries
         shared_cri_cache: Dict = {}
