@@ -39,6 +39,14 @@ class QueryVertex(Vertex):
     Input 0: queries ``(user, query_id)``.  Input 1: component label
     diffs ``((user, cid), ±1)``.  Input 2: top-hashtag diffs
     ``((cid, hashtag), ±1)``.  Output 0: ``(query_id, user, hashtag)``.
+
+    In fresh mode every input is buffered per timestamp and applied at
+    the notification, in timestamp order: a query at epoch *e* sees
+    exactly the state of epochs ``<= e`` — never a prefix of a later
+    epoch that happened to be scheduled early.  That makes fresh answers
+    a pure function of the per-epoch input multisets, so they survive a
+    failure-recovery replay bit-identically.  Stale mode keeps applying
+    (and answering) on arrival; bounded staleness is its contract.
     """
 
     def __init__(self, fresh: bool = True):
@@ -46,26 +54,16 @@ class QueryVertex(Vertex):
         self.fresh = fresh
         self.component: Dict[Any, Any] = {}
         self.top: Dict[Any, Any] = {}
-        self.pending: Dict[Timestamp, List[Tuple[Any, Any]]] = {}
+        #: timestamp -> [(input_port, records), ...] in arrival order.
+        self.pending: Dict[Timestamp, List[Tuple[int, List[Any]]]] = {}
 
     def _answer(self, user: Any, query_id: Any) -> Tuple[Any, Any, Any]:
         cid = self.component.get(user)
         hashtag = self.top.get(cid) if cid is not None else None
         return (query_id, user, hashtag)
 
-    def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
-        if input_port == 0:
-            if self.fresh:
-                pending = self.pending.get(timestamp)
-                if pending is None:
-                    pending = self.pending[timestamp] = []
-                    self.notify_at(timestamp)
-                pending.extend(records)
-            else:
-                self.send_by(
-                    0, [self._answer(user, qid) for user, qid in records], timestamp
-                )
-        elif input_port == 1:
+    def _apply(self, input_port: int, records: List[Any]) -> None:
+        if input_port == 1:
             for (user, cid), multiplicity in records:
                 if multiplicity > 0:
                     self.component[user] = cid
@@ -78,8 +76,27 @@ class QueryVertex(Vertex):
                 elif self.top.get(cid) == hashtag:
                     del self.top[cid]
 
+    def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
+        if self.fresh:
+            pending = self.pending.get(timestamp)
+            if pending is None:
+                pending = self.pending[timestamp] = []
+                self.notify_at(timestamp)
+            pending.append((input_port, list(records)))
+        elif input_port == 0:
+            self.send_by(
+                0, [self._answer(user, qid) for user, qid in records], timestamp
+            )
+        else:
+            self._apply(input_port, records)
+
     def on_notify(self, timestamp: Timestamp) -> None:
-        queries = self.pending.pop(timestamp, [])
+        queries: List[Tuple[Any, Any]] = []
+        for input_port, records in self.pending.pop(timestamp, ()):
+            if input_port == 0:
+                queries.extend(records)
+            else:
+                self._apply(input_port, records)
         if queries:
             self.send_by(
                 0, [self._answer(user, qid) for user, qid in queries], timestamp

@@ -43,6 +43,8 @@ class KineographEngine:
         self.costs = costs
         #: (snapshot close time, result availability time, tweet count)
         self.timeline: List[Tuple[float, float, int]] = []
+        #: (kill time, recompute finish time) for each injected failure.
+        self.failures: List[Tuple[float, float]] = []
 
     def max_throughput(self) -> float:
         """Tweets/second before the compute stage becomes the bottleneck."""
@@ -57,6 +59,8 @@ class KineographEngine:
         followers: Sequence[Tuple[int, int]],
         arrival_rate: float,
         duration: float,
+        kill_at: float = None,
+        restart_delay: float = 5.0,
     ) -> Dict[str, int]:
         """Process ``duration`` seconds of stream at ``arrival_rate``.
 
@@ -64,6 +68,15 @@ class KineographEngine:
         final k-exposure counts; :attr:`timeline` records when each
         snapshot's results became available, from which result staleness
         is derived.
+
+        ``kill_at`` injects a machine failure at that time.  Ingest is
+        synchronously replicated, so no data is lost — but the snapshot
+        computation in progress at the failure loses its partial results
+        and recomputes from scratch once the machine's shards have been
+        reassigned (``restart_delay``, Kineograph's reported tens of
+        seconds of fail-over).  Every queued snapshot behind it slips by
+        the same amount: the failure shows up purely as added staleness,
+        never as wrong counts.
         """
         costs = self.costs
         follows: Dict[int, List[int]] = {}
@@ -92,6 +105,17 @@ class KineographEngine:
             )
             start = max(close_time, compute_free_at)
             ready = start + compute_time
+            if kill_at is not None and kill_at < ready:
+                if start <= kill_at:
+                    # The in-progress batch computation dies: reassign
+                    # the machine's shards, recompute the snapshot.
+                    ready = kill_at + restart_delay + compute_time
+                else:
+                    # Failure while this snapshot was still accumulating
+                    # or queued: its compute waits out the fail-over.
+                    ready = max(start, kill_at + restart_delay) + compute_time
+                self.failures.append((kill_at, ready))
+                kill_at = None  # one failure per replay
             compute_free_at = ready
             self.timeline.append((close_time, ready, batch))
             time = close_time

@@ -18,10 +18,12 @@ Three layers, all optional and zero-overhead when unused:
 """
 
 from .metrics import (
+    CheckpointPauseStats,
     CriticalPathSummary,
     PoolTimeline,
     StageTimeline,
     WorkerTimeline,
+    checkpoint_pause_stats,
     critical_path,
     event_counts,
     frontier_trace,
@@ -34,6 +36,7 @@ from .trace import ACTIVITY_TYPES, TraceEvent, TraceSink, timestamp_tuple
 
 __all__ = [
     "ACTIVITY_TYPES",
+    "CheckpointPauseStats",
     "CriticalPathSummary",
     "DESProfile",
     "PoolTimeline",
@@ -41,6 +44,7 @@ __all__ = [
     "TraceEvent",
     "TraceSink",
     "WorkerTimeline",
+    "checkpoint_pause_stats",
     "collect_profile",
     "critical_path",
     "event_counts",

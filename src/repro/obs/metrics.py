@@ -124,6 +124,88 @@ def frontier_trace(events: Iterable[TraceEvent]) -> List[Tuple[float, Tuple]]:
 
 
 @dataclass
+class CheckpointPauseStats:
+    """Checkpoint-induced pauses, comparable across the two modes.
+
+    A barrier checkpoint pauses the whole cluster for its drain plus
+    its synchronous write; an asynchronous cycle pauses each worker
+    only for its incremental state copy, and the marker latency (cut
+    start to assembled snapshot) plus durable lag (background write)
+    bound the recovery line's *staleness* instead of any pause.
+    """
+
+    #: Per barrier checkpoint: drain + synchronous write (the full
+    #: stop-the-world pause charged to every worker).
+    barrier_pauses: Tuple[float, ...] = ()
+    barrier_drains: Tuple[float, ...] = ()
+    barrier_writes: Tuple[float, ...] = ()
+    #: Per asynchronous cycle: the largest single-worker copy stall.
+    async_max_stalls: Tuple[float, ...] = ()
+    #: Per asynchronous cycle: marker injection -> assembled cut.
+    async_marker_latencies: Tuple[float, ...] = ()
+    #: Per asynchronous cycle: background durable-write duration.
+    async_durable_lags: Tuple[float, ...] = ()
+    #: Per asynchronous cycle: (fresh, reused) vertex snapshot counts.
+    async_increments: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def max_barrier_pause(self) -> float:
+        return max(self.barrier_pauses, default=0.0)
+
+    @property
+    def max_async_pause(self) -> float:
+        """The async protocol's worst per-cycle pause (the copy stall)."""
+        return max(self.async_max_stalls, default=0.0)
+
+
+def checkpoint_pause_stats(events: Iterable[TraceEvent]) -> CheckpointPauseStats:
+    """Extract barrier pauses and async-cycle stalls from a trace.
+
+    Barrier numbers come from ``checkpoint`` events (``detail`` =
+    ``(count, released, drain, write)``; traces from before the drain
+    field existed contribute ``dur`` as the write with a zero drain).
+    Async numbers come from the per-cycle ``snapshot`` summaries
+    (``worker == -1``).
+    """
+    stats = CheckpointPauseStats()
+    pauses: List[float] = []
+    drains: List[float] = []
+    writes: List[float] = []
+    stalls: List[float] = []
+    latencies: List[float] = []
+    lags: List[float] = []
+    increments: List[Tuple[int, int]] = []
+    for event in events:
+        if event.kind == "checkpoint":
+            if len(event.detail) >= 4:
+                drain = float(event.detail[2])
+                write = float(event.detail[3])
+            else:
+                drain = 0.0
+                write = event.dur
+            # Async durable commits emit a zero-drain/zero-dur parity
+            # event; only an actual pause counts as a barrier pause.
+            if event.dur > 0.0 or drain > 0.0:
+                drains.append(drain)
+                writes.append(write)
+                pauses.append(drain + write)
+        elif event.kind == "snapshot" and event.worker == -1:
+            cycle, fresh, reused, _channel, max_stall, durable_lag = event.detail
+            stalls.append(float(max_stall))
+            latencies.append(event.dur)
+            lags.append(float(durable_lag))
+            increments.append((int(fresh), int(reused)))
+    stats.barrier_pauses = tuple(pauses)
+    stats.barrier_drains = tuple(drains)
+    stats.barrier_writes = tuple(writes)
+    stats.async_max_stalls = tuple(stalls)
+    stats.async_marker_latencies = tuple(latencies)
+    stats.async_durable_lags = tuple(lags)
+    stats.async_increments = tuple(increments)
+    return stats
+
+
+@dataclass
 class PoolTimeline:
     """Per-pool-child summary of offloaded callback bodies (mp backend)."""
 

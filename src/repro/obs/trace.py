@@ -29,7 +29,19 @@ Event kinds
     one epoch of external input journaled/introduced.
 ``checkpoint`` / ``restore`` / ``failure``
     fault-tolerance barriers (section 3.4): checkpoint begin/complete,
-    rollback, and injected process failures.
+    rollback, and injected process failures.  A barrier ``checkpoint``
+    event's ``detail`` is ``(count, journal_released, drain_duration,
+    write_duration)``; a partial rollback emits one ``restore`` event
+    per restored worker (``worker`` >= 0), a global rollback emits a
+    single cluster-wide event (``worker`` == -1).
+``snapshot``
+    the asynchronous checkpoint protocol (``checkpoint_mode="async"``):
+    one span per ``(worker, cycle)`` snapshot whose ``dur`` is the
+    copy stall charged to that worker and whose ``detail`` is
+    ``(cycle, fresh_vertices, total_vertices)``, plus one cycle
+    summary per assembled cut (``worker`` == -1, ``dur`` = marker
+    latency, ``detail`` = ``(cycle, fresh, reused, channel_entries,
+    max_stall, durable_lag)``).
 ``run``
     one ``Simulator.run`` invocation (span over the whole drain).
 ``pool``
@@ -61,6 +73,7 @@ ACTIVITY_TYPES = {
     "frontier": "progress tracking",
     "input": "data input",
     "checkpoint": "barrier",
+    "snapshot": "barrier",
     "restore": "barrier",
     "failure": "barrier",
     "run": "span",

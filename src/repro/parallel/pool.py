@@ -212,6 +212,18 @@ def _child_main(cluster, rank: int, size: int, offload, conn) -> None:
                 if stage.index in offload and worker_index % size == rank
             }
             conn.send(states)
+        elif op == "checkpoint_worker":
+            # Asynchronous cuts snapshot one sim worker at a time, and
+            # incrementally: only the stages named (the dirty ones).
+            _, worker_index, stage_indices = msg
+            conn.send(
+                {
+                    (stage_index, worker_index): vertices[
+                        (by_index[stage_index], worker_index)
+                    ].checkpoint()
+                    for stage_index in stage_indices
+                }
+            )
         elif op == "restore":
             for (stage_index, worker_index), state in msg[1].items():
                 vertices[(by_index[stage_index], worker_index)].restore(state)
@@ -370,6 +382,11 @@ class VertexPool:
                 # straggler pause re-arms into a later batch; it will be
                 # consumed by that _step, never re-selected.
                 continue
+            if worker._cut_deferred:
+                # The worker owes an asynchronous-checkpoint cut; a new
+                # claim would pop work out of the queue ahead of the
+                # cut's capture.  Let _step take the cut first.
+                continue
             start = max(
                 batch_time,
                 worker.busy_until,
@@ -456,6 +473,89 @@ class VertexPool:
             head.result = message
             channel.outstanding.popleft()
             self._pump(channel)
+
+    # ------------------------------------------------------------------
+    # Asynchronous-checkpoint support (claim inspection and per-worker
+    # state shipping while the rest of the pool keeps computing).
+    # ------------------------------------------------------------------
+
+    def claim_has_work(self, worker_index: int) -> bool:
+        """True when ``worker_index`` holds a claim with popped work —
+        the cut-deferral condition for asynchronous snapshots."""
+        claim = self._claims.get(worker_index)
+        return claim is not None and claim.work is not None
+
+    def peek_claim_work(self, worker_index: int):
+        """The claimed-but-unconsumed work unit (or None) — partial
+        rollback compensates its occurrence counts."""
+        claim = self._claims.get(worker_index)
+        return claim.work if claim is not None else None
+
+    def _drain(self, channel: _Channel) -> None:
+        """Materialize every outstanding result on ``channel`` without
+        feeding it more work, leaving the pipe free for a synchronous
+        state conversation.  Results are stored on their claims, which
+        ``take_claim`` honors later; the caller must ``_pump`` when its
+        conversation is done."""
+        while channel.outstanding:
+            head = channel.outstanding[0]
+            message = channel.conn.recv()
+            if message[0] != head.task_id:
+                raise RuntimeError(
+                    "pool protocol error: expected result for task %d, got %r"
+                    % (head.task_id, message[0])
+                )
+            head.result = message
+            channel.outstanding.popleft()
+
+    def pull_worker_states(self, worker_index: int, stage_indices):
+        """Fetch one sim worker's pool-resident states (the listed
+        stages only) without requiring a drained pool."""
+        offload = [si for si in stage_indices if si in self.offload_stages]
+        if not offload:
+            return {}
+        channel = self._channels[worker_index % self.size]
+        self._drain(channel)
+        channel.conn.send(("checkpoint_worker", worker_index, offload))
+        states = channel.conn.recv()
+        self._pump(channel)
+        return states
+
+    def push_worker_states(self, vertex_states, worker_indices) -> None:
+        """Restore only ``worker_indices``'s shares of a snapshot into
+        their owning children (partial rollback; pool stays live)."""
+        targets = set(worker_indices)
+        shares: List[Dict[Tuple[int, int], Any]] = [{} for _ in range(self.size)]
+        for (stage_index, worker_index), state in vertex_states.items():
+            if worker_index in targets and stage_index in self.offload_stages:
+                shares[worker_index % self.size][(stage_index, worker_index)] = state
+        for channel, share in zip(self._channels, shares):
+            if not share:
+                continue
+            self._drain(channel)
+            channel.conn.send(("restore", share))
+            channel.conn.recv()
+            self._pump(channel)
+
+    def discard_claims(self, worker_indices) -> None:
+        """Drop the named workers' claims and backlogged tasks (their
+        sim workers died); everyone else's claims survive."""
+        dead = set(worker_indices)
+        for rank in {index % self.size for index in dead}:
+            channel = self._channels[rank]
+            self._drain(channel)
+            if channel.backlog:
+                kept = [
+                    (claim, payload)
+                    for claim, payload in channel.backlog
+                    if payload[3] not in dead
+                ]
+                channel.backlog.clear()
+                channel.backlog.extend(kept)
+            self._pump(channel)
+        for index in dead:
+            self._claims.pop(index, None)
+        self.resets += 1
 
     # ------------------------------------------------------------------
     # State shipping and lifecycle.

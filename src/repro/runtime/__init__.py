@@ -6,13 +6,16 @@ the checkpoint/recovery machinery and the synthetic-record helpers
 used by benchmarks.
 """
 
+from .async_checkpoint import MARKER_BYTES, AsyncCheckpointManager
 from .checkpoint import RECOVERY_POLICIES, RecoveryManager
 from .cluster import ClusterComputation, CostModel, FaultTolerance
 from .protocol import PROTOCOL_MODES, UPDATE_WIRE_BYTES
 from .synthetic import SyntheticRecords, batch_bytes, record_count
 
 __all__ = [
+    "AsyncCheckpointManager",
     "ClusterComputation",
+    "MARKER_BYTES",
     "CostModel",
     "FaultTolerance",
     "PROTOCOL_MODES",

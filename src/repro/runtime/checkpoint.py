@@ -100,6 +100,9 @@ class RecoveryManager:
         #: (stage_index, worker, timestamp) batches already delivered to
         #: external subscribers; replay skips them (exactly-once).
         self._released_outputs: Set[Tuple[int, int, Any]] = set()
+        #: Virtual time the active barrier started draining (None when
+        #: no barrier is active); the drain span lands in the trace.
+        self._barrier_begin: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Input journal and release pump.
@@ -133,7 +136,12 @@ class RecoveryManager:
                     and ft.checkpoint_every > 0
                     and self.epochs_released % ft.checkpoint_every == 0
                 ):
-                    self.begin_checkpoint()
+                    if cluster.async_ckpt is not None:
+                        # Asynchronous mode: start a marker cycle; input
+                        # release never pauses.
+                        cluster.async_ckpt.request_cycle()
+                    else:
+                        self.begin_checkpoint()
             else:
                 _, stage, next_epoch = entry
                 cluster._release_close(stage, next_epoch)
@@ -147,6 +155,7 @@ class RecoveryManager:
         if self.paused:
             return
         self.paused = True
+        self._barrier_begin = self.cluster.sim.now
         self._schedule_probe()
 
     def _schedule_probe(self, at: Optional[float] = None) -> None:
@@ -208,6 +217,8 @@ class RecoveryManager:
             # durable; advance the clock to the write's completion even
             # if no further work exists.
             cluster.sim.schedule_at(resume, lambda: None)
+        drain = now - self._barrier_begin if self._barrier_begin is not None else 0.0
+        self._barrier_begin = None
         trace = cluster._trace
         if trace is not None:
             trace.emit(
@@ -220,7 +231,7 @@ class RecoveryManager:
                     -1,
                     "",
                     (),
-                    (self.checkpoint_count, self.released),
+                    (self.checkpoint_count, self.released, drain, duration),
                 )
             )
         self.paused = False
@@ -270,14 +281,19 @@ class RecoveryManager:
     def _prune_released_outputs(self, snapshot: Dict[str, Any]) -> None:
         """Drop exactly-once ledger entries no replay can ever reach.
 
-        Replay re-delivers only inputs journaled at or after the durable
-        snapshot, so sink timestamps below every input's active epoch in
-        the snapshot are final and their dedup entries can be freed.
+        A restore re-delivers the inputs journaled at or after the
+        snapshot plus whatever the snapshot itself still holds (an
+        asynchronous cut carries in-flight channel messages and pending
+        notifications below the input frontier).  Timestamps can only
+        move forward in epoch, so sink timestamps below *every* positive
+        occurrence entry in the snapshot are final and their dedup
+        entries can be freed.  (At a quiescent barrier only the input
+        frontier is outstanding, so this reduces to the input floor.)
         """
         floors = [
             pointstamp.timestamp.epoch
             for pointstamp, count in snapshot["occurrence"].items()
-            if count > 0 and pointstamp.location in {h.stage for h in self.cluster.inputs}
+            if count > 0
         ]
         floor = min(floors) if floors else None
         if floor is None:
@@ -310,15 +326,77 @@ class RecoveryManager:
     # Failure and rollback.
     # ------------------------------------------------------------------
 
-    def fail_process(self, process: int) -> None:
-        """Kill a process now: lose its workers, roll the cluster back.
+    def _restore_set_empty(self, process: int, snapshot: Dict[str, Any]) -> bool:
+        """True when killing ``process`` loses nothing: its workers are
+        idle with no queued/claimed/in-flight work addressed to them and
+        every hosted vertex state equals the rollback snapshot's.  Then
+        a restart needs no rollback at all (satellite: skip the barrier
+        when the restore set is empty)."""
+        cluster = self.cluster
+        if cluster.network.in_flight:
+            return False
+        if cluster.nodes[process].buffer:
+            return False
+        dead = [
+            w for w in cluster.workers if w.process == process and not w.dead
+        ]
+        pool = cluster.pool
+        for worker in dead:
+            if (
+                worker.queue
+                or worker.pending_notifications
+                or worker.pending_cleanups
+                or worker._commit_pending
+            ):
+                return False
+            if pool is not None and pool.claim_has_work(worker.index):
+                return False
+        ac = cluster.async_ckpt
+        dead_indices = {w.index for w in dead}
+        if ac is not None:
+            for entry in ac.inflight.values():
+                if entry[1] in dead_indices:
+                    return False
+        from ..core.graph import StageKind
 
-        Placement of the dead process's workers follows
-        ``FaultTolerance.recovery``: ``"restart"`` brings the process
-        back after ``restart_delay`` (same worker placement);
-        ``"reassign"`` spreads its workers round-robin over the
-        survivors (the dead process stays dead, as under Naiad's
-        vertex-reassignment recovery).
+        stages = [
+            stage
+            for stage in cluster.graph.stages
+            if stage.kind is not StageKind.INPUT
+        ]
+        pulled: Dict[Tuple[int, int], Any] = {}
+        if pool is not None:
+            for index in dead_indices:
+                pulled.update(
+                    pool.pull_worker_states(index, [s.index for s in stages])
+                )
+        try:
+            for stage in stages:
+                for index in dead_indices:
+                    key = (stage.index, index)
+                    state = pulled.get(key)
+                    if state is None:
+                        state = cluster.vertices[(stage, index)].checkpoint()
+                    if state != snapshot["vertices"].get(key):
+                        return False
+        except Exception:
+            return False  # states not comparable -> be conservative
+        return True
+
+    def fail_process(self, process: int) -> None:
+        """Kill a process now: lose its workers, recover.
+
+        Recovery escalates through three tiers: **skip** (the restore
+        set is empty — nothing was lost, the process just restarts in
+        place), **partial** (async mode: restore only the lost workers
+        from the durable cut and replay their journal suffix while
+        survivors keep running behind a frontier fence), **global** (the
+        paper's whole-cluster rollback).  Placement of the dead
+        process's workers follows ``FaultTolerance.recovery``:
+        ``"restart"`` brings the process back after ``restart_delay``
+        (same worker placement); ``"reassign"`` spreads its workers
+        round-robin over the survivors (the dead process stays dead, as
+        under Naiad's vertex-reassignment recovery).
         """
         cluster = self.cluster
         if process in self.dead_processes:
@@ -332,6 +410,95 @@ class RecoveryManager:
             for p in range(cluster.num_processes)
             if p != process and p not in self.dead_processes
         ]
+        trace = cluster._trace
+        if policy == "restart" and self._restore_set_empty(process, snapshot):
+            # Nothing to restore: the process restarts in place with its
+            # state intact; no rollback barrier, no replay, survivors
+            # untouched.  (Only sound under "restart" — "reassign" must
+            # still migrate the workers off the dead process.)
+            ready = now + ft.restart_delay
+            for worker in cluster.workers:
+                if worker.process == process:
+                    worker.busy_until = max(worker.busy_until, ready)
+            if trace is not None:
+                trace.emit(
+                    TraceEvent(
+                        "failure",
+                        now,
+                        ready - now,
+                        perf_counter(),
+                        -1,
+                        process,
+                        "",
+                        (),
+                        (policy, 0, "skip"),
+                    )
+                )
+            self.failures.append(
+                {
+                    "at": now,
+                    "process": process,
+                    "policy": policy,
+                    "mode": "skip",
+                    "ready": ready,
+                    "restored_from": snapshot["time"],
+                    "replayed_entries": 0,
+                }
+            )
+            return
+        ac = cluster.async_ckpt
+        if (
+            ac is not None
+            and policy == "restart"
+            and survivors
+            and not self.dead_processes
+            and not ac.replay_dedup
+        ):
+            # Partial rollback: restore only the lost process's workers.
+            # (Bail to global recovery while a previous partial replay's
+            # dedup ledgers are still draining — overlapping replays
+            # would not be distinguishable.)
+            ready = now + ft.restart_delay
+            if ft.mode in ("checkpoint", "logging") and self.snapshot is not None:
+                hosted = sum(
+                    1 for owner in cluster._worker_process if owner == process
+                )
+                ready += ft.state_bytes_per_worker * hosted / ft.disk_bandwidth
+            if ft.mode == "logging":
+                ready += (
+                    self.logged_bytes - self._logged_at_snapshot
+                ) / ft.disk_bandwidth
+            self._generation += 1  # cancel any pending barrier probe
+            self.paused = False
+            self._barrier_begin = None
+            injected = ac.partial_rollback(process, snapshot, ready)
+            if trace is not None:
+                trace.emit(
+                    TraceEvent(
+                        "failure",
+                        now,
+                        ready - now,
+                        perf_counter(),
+                        -1,
+                        process,
+                        "",
+                        (),
+                        (policy, injected, "partial"),
+                    )
+                )
+            self.failures.append(
+                {
+                    "at": now,
+                    "process": process,
+                    "policy": policy,
+                    "mode": "partial",
+                    "ready": ready,
+                    "restored_from": snapshot["time"],
+                    "replayed_entries": injected,
+                }
+            )
+            self.pump()
+            return
         if policy == "reassign" and survivors:
             self.dead_processes.add(process)
             mapping = list(cluster._worker_process)
@@ -352,7 +519,6 @@ class RecoveryManager:
             ready += ft.state_bytes_per_worker * most / ft.disk_bandwidth
         if ft.mode == "logging":
             ready += (self.logged_bytes - self._logged_at_snapshot) / ft.disk_bandwidth
-        trace = cluster._trace
         if trace is not None:
             trace.emit(
                 TraceEvent(
@@ -364,7 +530,11 @@ class RecoveryManager:
                     process,
                     "",
                     (),
-                    (policy, len(self.journal) - snapshot["journal_released"]),
+                    (
+                        policy,
+                        len(self.journal) - snapshot["journal_released"],
+                        "global",
+                    ),
                 )
             )
         self._restore_and_replay(snapshot, ready)
@@ -373,6 +543,7 @@ class RecoveryManager:
                 "at": now,
                 "process": process,
                 "policy": policy,
+                "mode": "global",
                 "ready": ready,
                 "restored_from": snapshot["time"],
                 "replayed_entries": len(self.journal) - snapshot["journal_released"],
@@ -391,6 +562,7 @@ class RecoveryManager:
         cluster = self.cluster
         self._generation += 1  # cancel any pending checkpoint probe
         self.paused = False
+        self._barrier_begin = None
         trace = cluster._trace
         if trace is not None:
             trace.emit(

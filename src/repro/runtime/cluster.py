@@ -82,6 +82,13 @@ class FaultTolerance:
     bounds how far recovery must read the log).  All three modes survive
     :meth:`ClusterComputation.kill_process` with identical outputs —
     they differ in how much virtual time the run and the recovery cost.
+
+    ``checkpoint_mode`` selects *how* the cut is taken: ``"barrier"``
+    is the paper's stop-the-world pause-drain-snapshot-resume cycle;
+    ``"async"`` is the marker-based asynchronous protocol of
+    :mod:`repro.runtime.async_checkpoint` — vertices snapshot
+    incrementally on marker arrival while the dataflow keeps running,
+    and failures roll back only the lost process (partial rollback).
     """
 
     #: "none", "checkpoint" (periodic full checkpoints) or "logging"
@@ -100,6 +107,13 @@ class FaultTolerance:
     recovery: str = "restart"
     #: Failure detection + process restart/failover time, seconds.
     restart_delay: float = 1.0
+    #: "barrier" (stop-the-world section 3.4 cycle) or "async"
+    #: (marker-based incremental snapshots + partial rollback).
+    checkpoint_mode: str = "barrier"
+    #: Memory bandwidth for the in-place state copy an asynchronous
+    #: snapshot charges to the worker (the only pause it ever takes);
+    #: the durable disk write happens in the background.
+    snapshot_copy_bandwidth: float = 5e9
 
 
 class _Worker:
@@ -114,8 +128,11 @@ class _Worker:
         "pending_cleanups",
         "busy_until",
         "dead",
+        "cut",
+        "_cut_deferred",
         "_scheduled",
         "_commit_pending",
+        "_pending_updates",
         "_frame_time",
         "_frame_stage",
         "_frame_capability",
@@ -136,10 +153,19 @@ class _Worker:
         #: Set when the hosting process is killed; scheduled events that
         #: still reference this object become no-ops.
         self.dead = False
+        #: Highest async-checkpoint cycle this worker has cut for (its
+        #: message color: sends carry the sender's ``cut`` as a tag).
+        self.cut = 0
+        #: An async cut is owed but was blocked by an uncommitted
+        #: callback or an unconsumed pool claim; taken at commit end.
+        self._cut_deferred = False
         self._scheduled = False
         #: A _step finished but its _commit has not run yet; the cluster
         #: is not quiescent while any commit is outstanding.
         self._commit_pending = False
+        #: The update list of the uncommitted callback (async partial
+        #: rollback applies its retirements if the worker dies here).
+        self._pending_updates: Optional[List[Tuple[Pointstamp, int]]] = None
         self._frame_time: Optional[Timestamp] = None
         self._frame_stage: Optional[Stage] = None
         self._frame_capability = True
@@ -229,10 +255,18 @@ class _Worker:
         remote_bytes: int = 0,
         src: int = -1,
         sent: float = -1.0,
+        tag: int = 0,
+        key: Optional[int] = None,
     ) -> None:
         if self.dead:
             return  # message addressed to a lost worker; replay covers it
-        self.queue.append((connector, records, timestamp, remote_bytes))
+        ac = self.cluster.async_ckpt
+        if ac is not None:
+            # Journal the delivery, settle its in-flight ledger entry,
+            # and — during an active cycle — cut this worker first if
+            # the message is post-cut, or channel-log it if pre-cut.
+            ac.on_delivery(self, connector, records, timestamp, remote_bytes, src, tag, key)
+        self.queue.append((connector, records, timestamp, remote_bytes, tag))
         trace = self.cluster._trace
         if trace is not None:
             now = self.cluster.sim.now
@@ -314,10 +348,10 @@ class _Worker:
                     key=lambda i: self.queue[i][2],
                 )
                 self.queue.rotate(-index)
-                connector, records, timestamp, remote_bytes = self.queue.popleft()
+                connector, records, timestamp, remote_bytes, _tag = self.queue.popleft()
                 self.queue.rotate(index)
             else:
-                connector, records, timestamp, remote_bytes = self.queue.popleft()
+                connector, records, timestamp, remote_bytes, _tag = self.queue.popleft()
                 if connector.coalesce and self.queue:
                     # Batch coalescing (repro.opt hints): merge *adjacent*
                     # queue entries for the same (connector, timestamp)
@@ -397,6 +431,10 @@ class _Worker:
         self._scheduled = False
         cluster = self.cluster
         now = cluster.sim.now
+        if self._cut_deferred and cluster.async_ckpt is not None:
+            # Take the owed async cut before selecting more work; the
+            # copy stall lands in busy_until and delays this step.
+            cluster.async_ckpt.try_deferred_cut(self)
         start = max(now, self.busy_until, cluster.network.process_available_at(self.process))
         if start > now:
             # Re-arm for later; an unconsumed pool claim (if any) stays
@@ -417,9 +455,12 @@ class _Worker:
         trace = cluster._trace
         wall = perf_counter() if trace is not None else 0.0
         span = None
+        async_ckpt = cluster.async_ckpt
         if work[0] == "recv":
             _, connector, records, timestamp, remote_bytes, batches = work
             vertex = cluster.vertices[(connector.dst, self.index)]
+            if async_ckpt is not None:
+                async_ckpt.dirty.add((connector.dst.index, self.index))
             if offloaded:
                 self._apply_effects(vertex, claim.effects)
             else:
@@ -451,6 +492,8 @@ class _Worker:
         else:
             kind, pointstamp = work
             vertex = cluster.vertices[(pointstamp.location, self.index)]
+            if async_ckpt is not None:
+                async_ckpt.dirty.add((pointstamp.location.index, self.index))
             if offloaded:
                 self._apply_effects(vertex, claim.effects)
             else:
@@ -509,6 +552,11 @@ class _Worker:
         self._updates = None
         self._dispatches = None
         self._commit_pending = True
+        # The async snapshot protocol needs the uncommitted retirements
+        # if this worker dies between _step and _commit (its dispatches
+        # and notify requests died with it, but the retirements it was
+        # about to publish must still be compensated).
+        self._pending_updates = updates
         if trace is not None and span is not None:
             trace.emit(
                 TraceEvent(
@@ -549,25 +597,39 @@ class _Worker:
         if self.dead:
             return  # the callback's effects died with the process
         self._commit_pending = False
+        self._pending_updates = None
         cluster = self.cluster
         now = cluster.sim.now
+        ac = cluster.async_ckpt
+        if ac is not None and ac.replay_dedup:
+            # Journal replay after a partial rollback: suppress record
+            # batches the surviving destinations already received.
+            ac.filter_replayed(self.index, dispatches, updates)
+        tag = self.cut if ac is not None else 0
         for connector, dest, batch, out_time, size in dispatches:
             dest_worker = cluster.workers[dest]
             if dest == self.index:
                 dest_worker.enqueue_message(
-                    connector, batch, out_time, 0, self.index, now
+                    connector, batch, out_time, 0, self.index, now, tag
                 )
             else:
+                key = None
+                if ac is not None:
+                    key = ac.register_inflight(
+                        self.index, dest, connector, batch, out_time, size, tag
+                    )
                 cluster.network.send(
                     self.process,
                     cluster.worker_process(dest),
                     size,
                     "data",
-                    lambda w=dest_worker, c=connector, b=batch, t=out_time, s=size, i=self.index, n=now: (
-                        w.enqueue_message(c, b, t, s, i, n)
+                    lambda w=dest_worker, c=connector, b=batch, t=out_time, s=size, i=self.index, n=now, g=tag, k=key: (
+                        w.enqueue_message(c, b, t, s, i, n, g, k)
                     ),
                 )
         cluster.nodes[self.process].submit(updates)
+        if ac is not None and self._cut_deferred:
+            ac.commit_hook(self)
         self.activate()
 
     def has_work(self) -> bool:
@@ -637,6 +699,15 @@ class ClusterComputation(Computation):
             raise ValueError(
                 "FaultTolerance.recovery must be one of %r" % (RECOVERY_POLICIES,)
             )
+        if self.fault_tolerance.checkpoint_mode not in ("barrier", "async"):
+            raise ValueError(
+                "FaultTolerance.checkpoint_mode must be 'barrier' or 'async' "
+                "(got %r)" % (self.fault_tolerance.checkpoint_mode,)
+            )
+        #: The marker-based asynchronous snapshot coordinator; created in
+        #: build() when checkpoint_mode == "async", else stays None and
+        #: every hook in the hot path is a single attribute test.
+        self.async_ckpt = None
         self.views: List[ProgressView] = []
         self.nodes: List[ProtocolNode] = []
         self.central: Optional[CentralAccumulator] = None
@@ -785,6 +856,10 @@ class ClusterComputation(Computation):
         # The rollback target before any checkpoint exists: the freshly
         # built cluster, from which the whole input journal can replay.
         self.recovery.initial = self.recovery.take_snapshot()
+        if self.fault_tolerance.checkpoint_mode == "async":
+            from .async_checkpoint import AsyncCheckpointManager
+
+            self.async_ckpt = AsyncCheckpointManager(self)
         self._built = True
 
     def _wrap_external_outputs(self) -> None:
@@ -850,13 +925,21 @@ class ClusterComputation(Computation):
                 )
             )
         updates: List[Tuple[Pointstamp, int]] = []
+        ac = self.async_ckpt
         for connector in stage.outputs[0]:
             for dest, batch in self._partition_input(connector, records):
                 updates.append((Pointstamp(timestamp, connector), +1))
                 worker = self.workers[dest]
+                tag = 0
+                key = None
+                if ac is not None:
+                    tag = ac.cycle
+                    key = ac.register_inflight(
+                        -1, dest, connector, batch, timestamp, 0, tag
+                    )
                 self.sim.schedule(
-                    0.0, lambda w=worker, c=connector, b=batch, t=timestamp: (
-                        w.enqueue_message(c, b, t)
+                    0.0, lambda w=worker, c=connector, b=batch, t=timestamp, g=tag, k=key: (
+                        w.enqueue_message(c, b, t, 0, -1, -1.0, g, k)
                     )
                 )
         updates.append((Pointstamp(Timestamp(epoch + 1), stage), +1))
@@ -979,6 +1062,8 @@ class ClusterComputation(Computation):
         )
         if self.recovery is not None:
             lines.extend(self.recovery.describe())
+        if self.async_ckpt is not None:
+            lines.extend(self.async_ckpt.describe())
         for process, view in enumerate(self.views):
             if len(view.state):
                 lines.append(
@@ -1004,8 +1089,16 @@ class ClusterComputation(Computation):
         ft_info: Dict[str, Any] = {
             "mode": ft.mode,
             "recovery": ft.recovery,
+            "checkpoint_mode": ft.checkpoint_mode,
             "draining": bool(recovery is not None and recovery.paused),
         }
+        if self.async_ckpt is not None:
+            ft_info.update(
+                async_cycle=self.async_ckpt.cycle,
+                async_completed_cycle=self.async_ckpt.completed_cycle,
+                async_durable_cycle=self.async_ckpt.durable_cycle,
+                async_active=self.async_ckpt.active,
+            )
         if recovery is not None:
             ft_info.update(
                 checkpoints=recovery.checkpoint_count,
@@ -1072,6 +1165,27 @@ class ClusterComputation(Computation):
         self._check_not_in_event("checkpoint")
         self._ensure_pool()
         recovery = self.recovery
+        ac = self.async_ckpt
+        if ac is not None:
+            # Marker-based asynchronous cut: start a cycle (unless one is
+            # already in flight) and step the DES — computation keeps
+            # running — until that cut is assembled and durable.
+            if not ac.active:
+                ac.begin_cycle()
+            target = ac.cycle
+            while ac.durable_cycle < target:
+                if not ac.active and ac.completed_cycle < target:
+                    # The in-progress cycle was abandoned (a failure
+                    # arrived mid-cut); start a fresh one.
+                    ac.begin_cycle()
+                    target = ac.cycle
+                    continue
+                if not self.sim.step():
+                    raise RuntimeError(
+                        "async checkpoint cycle stalled before completing:\n"
+                        + self.debug_state().text
+                    )
+            return recovery.snapshot
         while True:
             self.sim.run()
             self._flush_protocol_buffers()
@@ -1182,6 +1296,26 @@ class ClusterComputation(Computation):
             # drain and drop them before the snapshot is shipped back.
             self.pool.reset()
 
+    def _replace_workers(
+        self, indices: List[int], busy_until: float = 0.0
+    ) -> None:
+        """Replace only ``indices``'s worker objects (partial rollback).
+
+        The survivors' workers — queues, pending notifications, claim
+        protocol state — are left untouched; the named workers are
+        flagged dead (their scheduled events become no-ops) and fresh
+        replacements take their place, idle until ``busy_until``.
+        """
+        replaced = set(indices)
+        for index in indices:
+            self.workers[index].dead = True
+            self.workers[index] = _Worker(self, index)
+            self.workers[index].busy_until = busy_until
+        self._rebuild_process_index()
+        for (stage, index), vertex in self.vertices.items():
+            if index in replaced:
+                vertex._harness = self.workers[index]
+
     def _restore_snapshot(self, snapshot: Dict[str, Any]) -> None:
         """Load a consistent cut into the (freshly rebuilt) cluster."""
         by_index = {stage.index: stage for stage in self.graph.stages}
@@ -1205,6 +1339,8 @@ class ClusterComputation(Computation):
         occurrence = snapshot["occurrence"]
         for view in self.views:
             view.reset(occurrence)
+        if self.async_ckpt is not None:
+            self.async_ckpt.note_global_restore(snapshot)
         for worker in self.workers:
             worker.activate()
 

@@ -1,0 +1,322 @@
+"""Asynchronous incremental checkpoints and partial rollback.
+
+The marker protocol (``FaultTolerance(checkpoint_mode="async")``) must
+assemble a consistent global cut *without pausing the cluster*: the only
+per-worker pause is the incremental state copy, orders of magnitude
+smaller than the barrier's stop-the-world drain + synchronous write.
+Recovery from the asynchronous cut is *partial*: only the killed
+process's workers restore state and replay their journal suffix while
+survivors keep running behind a frontier fence — and the per-epoch
+outputs stay bit-identical to a failure-free run (DESIGN.md
+invariant 5, unchanged).
+"""
+
+from collections import Counter
+
+from repro.lib import Collection, Stream
+from repro.obs import TraceSink, checkpoint_pause_stats
+from repro.runtime import ClusterComputation, FaultTolerance
+
+from tests.test_recovery import CASES, baseline, make_ft, run_cluster
+
+
+def make_async_ft(mode="checkpoint", policy="restart", every=2):
+    ft = make_ft(mode, policy)
+    ft.checkpoint_every = every
+    ft.checkpoint_mode = "async"
+    return ft
+
+
+# ----------------------------------------------------------------------
+# The cut itself: cycles complete and become durable with no barrier.
+# ----------------------------------------------------------------------
+
+
+class TestAsyncCycle:
+    def test_cycles_complete_and_become_durable(self):
+        expected, _ = baseline("wordcount", (2, 2))
+        out, comp = run_cluster("wordcount", (2, 2), ft=make_async_ft())
+        assert out == expected
+        ac = comp.async_ckpt
+        assert ac is not None
+        assert ac.completed_cycle >= 1
+        assert ac.durable_cycle == ac.completed_cycle
+        assert not ac.active
+        assert comp.recovery.snapshot is not None
+
+    def test_no_barrier_pause_events(self):
+        # Async mode must never emit a stop-the-world pause: every
+        # ``checkpoint`` event is a zero-drain durable-commit parity
+        # record, and the cluster never pauses input release.
+        sink = TraceSink()
+        out, comp = run_cluster("wordcount", (2, 2), ft=make_async_ft(), trace=sink)
+        stats = checkpoint_pause_stats(sink)
+        assert stats.barrier_pauses == ()
+        assert len(stats.async_max_stalls) >= 1
+        assert not comp.recovery.paused
+
+    def test_snapshot_events_schema(self):
+        sink = TraceSink()
+        run_cluster("wordcount", (2, 2), ft=make_async_ft(), trace=sink)
+        summaries = [
+            e for e in sink if e.kind == "snapshot" and e.worker == -1
+        ]
+        workers = [e for e in sink if e.kind == "snapshot" and e.worker >= 0]
+        assert summaries and workers
+        for event in summaries:
+            cycle, fresh, reused, channel_entries, max_stall, lag = event.detail
+            assert cycle >= 1
+            assert fresh >= 0 and reused >= 0 and channel_entries >= 0
+            assert max_stall >= 0.0 and lag >= 0.0
+            assert event.dur >= 0.0  # marker latency: cut start -> cut
+        for event in workers:
+            cycle, n_fresh, total = event.detail
+            assert 0 <= n_fresh <= total
+
+    def test_incremental_snapshots_reuse_clean_state(self):
+        # Later cycles must re-serialize only dirty vertices: across all
+        # cycles some snapshots are reused from the cache (a cluster
+        # where every vertex is dirty every cycle would re-copy all).
+        # Epochs are paced so successive triggers start distinct cycles
+        # instead of coalescing into one.
+        expected, _ = baseline("wordcount", (4, 1))
+        program, epochs = CASES["wordcount"]
+        comp = ClusterComputation(
+            num_processes=4, workers_per_process=1,
+            fault_tolerance=make_async_ft(),
+        )
+        sink = TraceSink()
+        comp.attach_trace_sink(sink)
+        inp, out = program(comp)
+        comp.build()
+
+        def inject(index):
+            inp.on_next(epochs[index])
+            if index + 1 == len(epochs):
+                inp.on_completed()
+
+        for index in range(len(epochs)):
+            comp.sim.schedule_at(index * 2e-3, lambda i=index: inject(i))
+        comp.run()
+        assert comp.drained(), comp.debug_state()
+        assert out == expected
+        stats = checkpoint_pause_stats(sink)
+        assert len(stats.async_increments) >= 2
+        assert any(reused > 0 for _fresh, reused in stats.async_increments)
+
+    def test_manual_checkpoint_restore_roundtrip_async(self):
+        # The async twin of the barrier manual-roundtrip test: an
+        # explicit checkpoint() drives one marker cycle to durability,
+        # restore() rolls back to it, and replay is exactly-once.
+        expected, _ = baseline("wordcount", (2, 2))
+        program, epochs = CASES["wordcount"]
+        ft = make_async_ft(every=10 ** 9)  # manual cycles only
+        comp = ClusterComputation(
+            num_processes=2, workers_per_process=2, fault_tolerance=ft
+        )
+        inp, out = program(comp)
+        comp.build()
+        for epoch in epochs[:3]:
+            inp.on_next(epoch)
+        comp.run()
+        snapshot = comp.checkpoint()
+        assert snapshot["journal_released"] == 3
+        assert snapshot["cycle"] == comp.async_ckpt.durable_cycle
+        for epoch in epochs[3:]:
+            inp.on_next(epoch)
+        inp.on_completed()
+        comp.run()
+        assert out == expected
+        comp.restore(snapshot)
+        comp.run()
+        assert comp.drained(), comp.debug_state()
+        assert out == expected
+
+
+# ----------------------------------------------------------------------
+# The headline number: async pauses are >= 5x smaller than the barrier's
+# on the Figure 7c workload (k-exposure under periodic checkpoints).
+# ----------------------------------------------------------------------
+
+
+def run_kexposure(checkpoint_mode, sink):
+    from repro.algorithms.kexposure import k_exposure_incremental
+    from repro.workloads import TweetGenerator, TweetStreamConfig
+
+    ft = FaultTolerance(
+        mode="checkpoint",
+        checkpoint_every=4,
+        checkpoint_mode=checkpoint_mode,
+        state_bytes_per_worker=3 << 20,
+        disk_bandwidth=200e6,
+    )
+    comp = ClusterComputation(
+        num_processes=4, workers_per_process=1, fault_tolerance=ft
+    )
+    comp.attach_trace_sink(sink)
+    tweets_in = comp.new_input()
+    followers_in = comp.new_input()
+    out = {}
+    k_exposure_incremental(
+        Collection(Stream.from_input(tweets_in)),
+        Collection(Stream.from_input(followers_in)),
+    ).subscribe(
+        lambda t, diffs: out.setdefault(t.epoch, Counter()).update(diffs)
+    )
+    comp.build()
+    generator = TweetGenerator(
+        TweetStreamConfig(num_users=400, num_hashtags=40, seed=4)
+    )
+    followers_in.on_next(
+        [((generator.query(), generator.query()), +1) for _ in range(600)]
+    )
+    followers_in.on_completed()
+    for _ in range(12):
+        tweets_in.on_next(
+            [
+                ((tweet.user, tag), +1)
+                for tweet in generator.batch(40)
+                for tag in tweet.hashtags or ("#none",)
+            ]
+        )
+    tweets_in.on_completed()
+    comp.run()
+    assert comp.drained(), comp.debug_state()
+    return out
+
+
+class TestPauseComparison:
+    def test_async_pause_at_least_5x_smaller_than_barrier(self):
+        barrier_sink, async_sink = TraceSink(), TraceSink()
+        barrier_out = run_kexposure("barrier", barrier_sink)
+        async_out = run_kexposure("async", async_sink)
+        assert async_out == barrier_out  # same cut protocol, same answers
+        barrier = checkpoint_pause_stats(barrier_sink)
+        asynchronous = checkpoint_pause_stats(async_sink)
+        assert barrier.max_barrier_pause > 0.0
+        assert asynchronous.async_max_stalls  # cycles actually ran
+        assert (
+            asynchronous.max_async_pause * 5 <= barrier.max_barrier_pause
+        ), (asynchronous.max_async_pause, barrier.max_barrier_pause)
+
+
+# ----------------------------------------------------------------------
+# Partial rollback: only the killed process restores; survivors keep
+# their state and perform zero restores.
+# ----------------------------------------------------------------------
+
+
+class TestPartialRollback:
+    def kill_run(self, case, shape, frac, ft=None, **kwargs):
+        expected, duration = baseline(case, shape)
+        sink = TraceSink()
+        out, comp = run_cluster(
+            case,
+            shape,
+            ft=ft or make_async_ft(),
+            kill=(1, duration * frac),
+            trace=sink,
+            **kwargs
+        )
+        return expected, out, comp, sink
+
+    def test_partial_restores_only_the_killed_process(self):
+        expected, out, comp, sink = self.kill_run("wordcount", (2, 2), 0.4)
+        assert out == expected
+        assert comp.recovery.failures[0]["mode"] == "partial"
+        dead_workers = {
+            w.index for w in comp.workers if comp._worker_process[w.index] == 1
+        }
+        restores = [e for e in sink if e.kind == "restore"]
+        # Every restore is per-worker (no global restore event) and
+        # every restored worker belongs to the killed process.
+        assert restores
+        assert all(e.worker >= 0 for e in restores)
+        assert {e.worker for e in restores} <= dead_workers
+        # Survivors perform zero state restores.
+        survivor_restores = [e for e in restores if e.worker not in dead_workers]
+        assert survivor_restores == []
+        for event in restores:
+            mode, snapshot_time, injected = event.detail
+            assert mode == "partial"
+            assert injected >= 0
+
+    def test_partial_rollback_outputs_identical_across_kill_points(self):
+        for frac in (0.15, 0.45, 0.85):
+            expected, out, comp, _ = self.kill_run("iterate", (2, 2), frac)
+            assert out == expected, frac
+            assert comp.recovery.failures[0]["mode"] == "partial"
+
+    def test_partial_rollback_under_logging_mode(self):
+        expected, out, comp, _ = self.kill_run(
+            "wordcount", (2, 2), 0.5, ft=make_async_ft("logging")
+        )
+        assert out == expected
+        assert comp.recovery.failures[0]["mode"] == "partial"
+
+    def test_partial_rollback_with_fusion(self):
+        expected, out, comp, _ = self.kill_run(
+            "wordcount", (2, 2), 0.6, optimize=True
+        )
+        assert out == expected
+        assert comp.recovery.failures[0]["mode"] == "partial"
+
+    def test_second_overlapping_kill_escalates_to_global(self):
+        expected, duration = baseline("iterate", (4, 1))
+        program, epochs = CASES["iterate"]
+        comp = ClusterComputation(
+            num_processes=4, workers_per_process=1,
+            fault_tolerance=make_async_ft(),
+        )
+        inp, out = program(comp)
+        comp.build()
+        comp.kill_process(1, at=duration * 0.25)
+        comp.kill_process(3, at=duration * 0.8)
+        for epoch in epochs:
+            inp.on_next(epoch)
+        inp.on_completed()
+        comp.run()
+        assert comp.drained(), comp.debug_state()
+        assert out == expected
+        modes = [f["mode"] for f in comp.recovery.failures]
+        assert modes[0] == "partial"
+        assert modes[1] == "global"  # replay ledgers still draining
+
+
+# ----------------------------------------------------------------------
+# The skip tier: a kill that loses nothing skips the rollback entirely.
+# ----------------------------------------------------------------------
+
+
+class TestSkipRollback:
+    def test_idle_kill_with_clean_snapshot_skips_rollback(self):
+        expected, _ = baseline("wordcount", (2, 2))
+        program, epochs = CASES["wordcount"]
+        ft = make_async_ft(every=10 ** 9)
+        comp = ClusterComputation(
+            num_processes=2, workers_per_process=2, fault_tolerance=ft
+        )
+        sink = TraceSink()
+        comp.attach_trace_sink(sink)
+        inp, out = program(comp)
+        comp.build()
+        for epoch in epochs[:3]:
+            inp.on_next(epoch)
+        comp.run()
+        comp.checkpoint()  # durable cut == current state
+        # Kill while idle: the restore set is provably empty, so the
+        # process restarts in place — no rollback, no replay, and the
+        # survivors' clocks never stop.
+        comp.kill_process(1, at=comp.now + 1e-3)
+        for epoch in epochs[3:]:
+            inp.on_next(epoch)
+        inp.on_completed()
+        comp.run()
+        assert comp.drained(), comp.debug_state()
+        assert out == expected
+        failure = comp.recovery.failures[0]
+        assert failure["mode"] == "skip"
+        assert failure["replayed_entries"] == 0
+        # No restore of any kind happened.
+        assert [e for e in sink if e.kind == "restore"] == []
+        assert comp.recovery.failures[0]["policy"] == "restart"

@@ -163,3 +163,28 @@ class TestKineograph:
     def test_throughput_bound(self):
         engine = KineographEngine(num_machines=32)
         assert engine.max_throughput() > 100_000  # tweets/s, paper regime
+
+    def test_kill_injection_adds_staleness_not_errors(self):
+        tweets = [(u, "#t%d" % (u % 5)) for u in range(100)]
+        followers = [(u + 1000, u) for u in range(100)]
+
+        def replay(kill_at):
+            engine = KineographEngine(num_machines=32)
+            counts = engine.replay(
+                tweets,
+                followers,
+                arrival_rate=1000.0,
+                duration=60.0,
+                kill_at=kill_at,
+                restart_delay=20.0,
+            )
+            return engine, counts
+
+        unfailed, expected = replay(None)
+        failed, counts = replay(30.0)
+        # Ingest is replicated: the failure never changes the results.
+        assert counts == expected
+        assert len(failed.failures) == 1
+        # It does stall the snapshot pipeline: every snapshot from the
+        # kill onward is delivered later, so staleness strictly grows.
+        assert failed.mean_result_delay() > unfailed.mean_result_delay()

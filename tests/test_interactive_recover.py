@@ -1,0 +1,48 @@
+"""The interactive-recovery example, run under pytest.
+
+``examples/interactive_recover.py`` kills a process while the Figure 1
+application has queries in flight and asserts every response batch is
+identical to a failure-free run.  This wrapper executes the same
+scenario so the example is exercised (and its invariant enforced) by
+the test suite, not just by hand.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+)
+
+import interactive_recover  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return interactive_recover.run()
+
+
+def test_failure_free_run_answers_every_query(clean_run):
+    responses, comp = clean_run
+    assert sorted(responses) == list(range(interactive_recover.EPOCHS))
+    for epoch, batch in responses.items():
+        assert [qid for qid, _, _ in batch] == ["q%d" % epoch]
+
+
+def test_mid_query_kill_answers_identically(clean_run):
+    expected, clean = clean_run
+    kill_at = clean.now * 0.5
+    responses, comp = interactive_recover.run(kill=(2, kill_at))
+    assert responses == expected
+    (failure,) = comp.recovery.failures
+    assert failure["process"] == 2
+    assert failure["mode"] in ("partial", "skip")
+
+
+def test_kill_during_first_epochs_recovers(clean_run):
+    expected, clean = clean_run
+    responses, comp = interactive_recover.run(kill=(1, clean.now * 0.2))
+    assert responses == expected
+    assert len(comp.recovery.failures) == 1
