@@ -20,6 +20,7 @@ Three layers, all optional and zero-overhead when unused:
 from .metrics import (
     CheckpointPauseStats,
     CriticalPathSummary,
+    MembershipChange,
     PoolTimeline,
     StageTimeline,
     WorkerTimeline,
@@ -27,6 +28,7 @@ from .metrics import (
     critical_path,
     event_counts,
     frontier_trace,
+    membership_timeline,
     pool_timelines,
     stage_timelines,
     worker_timelines,
@@ -39,6 +41,7 @@ __all__ = [
     "CheckpointPauseStats",
     "CriticalPathSummary",
     "DESProfile",
+    "MembershipChange",
     "PoolTimeline",
     "StageTimeline",
     "TraceEvent",
@@ -49,6 +52,7 @@ __all__ = [
     "critical_path",
     "event_counts",
     "frontier_trace",
+    "membership_timeline",
     "pool_timelines",
     "stage_timelines",
     "timestamp_tuple",

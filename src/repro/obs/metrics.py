@@ -124,6 +124,59 @@ def frontier_trace(events: Iterable[TraceEvent]) -> List[Tuple[float, Tuple]]:
 
 
 @dataclass
+class MembershipChange:
+    """One elastic membership change (an ``add_process`` or a graceful
+    ``remove_process``), reconstructed from a ``rescale`` trace event."""
+
+    #: "add" or "remove".
+    kind: str
+    #: The process that joined or left.
+    process: int
+    #: Virtual time the change executed.
+    t: float
+    #: Migration blip: time until the moved workers were ready again.
+    blip: float
+    #: Monotone membership generation after the change.
+    generation: int
+    #: Live process count after the change.
+    live_count: int
+    #: Worker indices that changed home.
+    moved_workers: Tuple[int, ...] = ()
+    #: Messages re-injected for the moved workers' replay.
+    injected: int = 0
+
+
+def membership_timeline(
+    events: Iterable[TraceEvent],
+) -> List[MembershipChange]:
+    """The cluster-shape history of a traced run, in event order.
+
+    Post-mortems join this against :func:`worker_timelines` or the
+    frontier trace to see exactly when the shape changed and what each
+    change cost (the ``blip`` is the moved workers' unavailability; the
+    survivors never pause).
+    """
+    out: List[MembershipChange] = []
+    for event in events:
+        if event.kind != "rescale":
+            continue
+        kind, generation, live_count, moved, injected = event.detail
+        out.append(
+            MembershipChange(
+                kind=kind,
+                process=event.process,
+                t=event.t,
+                blip=event.dur,
+                generation=int(generation),
+                live_count=int(live_count),
+                moved_workers=tuple(moved),
+                injected=int(injected),
+            )
+        )
+    return out
+
+
+@dataclass
 class CheckpointPauseStats:
     """Checkpoint-induced pauses, comparable across the two modes.
 

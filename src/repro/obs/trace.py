@@ -34,6 +34,12 @@ Event kinds
     write_duration)``; a partial rollback emits one ``restore`` event
     per restored worker (``worker`` >= 0), a global rollback emits a
     single cluster-wide event (``worker`` == -1).
+``rescale``
+    a completed elastic membership change (``add_process`` /
+    ``remove_process``): ``process`` is the process that joined or
+    left, ``dur`` is the migration blip (now to the moved workers'
+    ready time) and ``detail`` is ``(kind, generation, live_count,
+    moved_workers, injected)``.
 ``snapshot``
     the asynchronous checkpoint protocol (``checkpoint_mode="async"``):
     one span per ``(worker, cycle)`` snapshot whose ``dur`` is the
@@ -76,6 +82,7 @@ ACTIVITY_TYPES = {
     "snapshot": "barrier",
     "restore": "barrier",
     "failure": "barrier",
+    "rescale": "barrier",
     "run": "span",
     "pool": "processing",
     "plan": "scheduling",

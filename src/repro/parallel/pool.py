@@ -19,9 +19,14 @@ Mechanics:
   child's copy of a vertex it owns is the authoritative one.
 
 * **Pinning.**  Sim-worker ``i`` is owned by pool child ``i % size``
-  for the life of the computation — stable across failure recovery and
-  reassignment, so vertex state never migrates between children except
-  through the explicit checkpoint/restore path.
+  for the life of the computation — stable across failure recovery,
+  reassignment and elastic rescaling, so vertex state never migrates
+  between children except through the explicit checkpoint/restore
+  path.  Ownership keys on the *worker index*, never on the hosting
+  process, which is exactly why ``add_process`` / ``remove_process``
+  can rehome workers without touching the pool: only the cluster's
+  placement map changes, and the moved workers' states arrive through
+  the same ``push_worker_states`` path a partial rollback uses.
 
 * **Claims.**  ``Simulator.step`` calls :meth:`VertexPool.prefetch`
   (the ``dispatcher`` hook), which stages the maximal run of

@@ -10,10 +10,13 @@ from .async_checkpoint import MARKER_BYTES, AsyncCheckpointManager
 from .checkpoint import RECOVERY_POLICIES, RecoveryManager
 from .cluster import ClusterComputation, CostModel, FaultTolerance
 from .protocol import PROTOCOL_MODES, UPDATE_WIRE_BYTES
+from .rescale import AutoscalePolicy, Autoscaler
 from .synthetic import SyntheticRecords, batch_bytes, record_count
 
 __all__ = [
     "AsyncCheckpointManager",
+    "AutoscalePolicy",
+    "Autoscaler",
     "ClusterComputation",
     "MARKER_BYTES",
     "CostModel",

@@ -252,8 +252,13 @@ class RecoveryManager:
     def take_snapshot(self) -> Dict[str, Any]:
         """Capture the consistent cut.  Caller ensures quiescence."""
         cluster = self.cluster
-        occurrence = cluster.views[0].snapshot()
-        for view in cluster.views[1:]:
+        # Agreement is asserted over the *live* membership: processes
+        # that left via remove_process() stop receiving broadcasts and
+        # their views go stale by design; mirror views alias process
+        # 0's object and are deduplicated.
+        views = cluster._unique_views(live_only=True)
+        occurrence = views[0].snapshot()
+        for view in views[1:]:
             if view.state.occurrence != occurrence:
                 raise RuntimeError(
                     "progress views disagree at a checkpoint barrier; "
@@ -401,13 +406,15 @@ class RecoveryManager:
         cluster = self.cluster
         if process in self.dead_processes:
             return  # already dead; nothing new to lose
+        if process in cluster._removed_processes:
+            return  # already left the cluster; it hosts nothing
         now = cluster.sim.now
         ft = cluster.fault_tolerance
         snapshot = self.snapshot or self.initial
         policy = ft.recovery
         survivors = [
             p
-            for p in range(cluster.num_processes)
+            for p in cluster.live_processes
             if p != process and p not in self.dead_processes
         ]
         trace = cluster._trace
@@ -447,14 +454,12 @@ class RecoveryManager:
             )
             return
         ac = cluster.async_ckpt
-        if (
-            ac is not None
-            and policy == "restart"
-            and survivors
-            and not self.dead_processes
-            and not ac.replay_dedup
-        ):
+        if ac is not None and survivors and not ac.replay_dedup:
             # Partial rollback: restore only the lost process's workers.
+            # Under "reassign" the same rollback doubles as a migration —
+            # the lost workers are rehomed round-robin across the
+            # survivors and only *their* state is restored, with replay
+            # dedup protecting the survivors from duplicate deliveries.
             # (Bail to global recovery while a previous partial replay's
             # dedup ledgers are still draining — overlapping replays
             # would not be distinguishable.)
@@ -471,7 +476,22 @@ class RecoveryManager:
             self._generation += 1  # cancel any pending barrier probe
             self.paused = False
             self._barrier_begin = None
-            injected = ac.partial_rollback(process, snapshot, ready)
+            placement = None
+            if policy == "reassign":
+                self.dead_processes.add(process)
+                moving = [
+                    index
+                    for index, owner in enumerate(cluster._worker_process)
+                    if owner == process
+                ]
+                placement = {
+                    index: survivors[cursor % len(survivors)]
+                    for cursor, index in enumerate(moving)
+                }
+            injected = ac.partial_rollback(
+                process, snapshot, ready, placement=placement,
+                flush_node=process,
+            )
             if trace is not None:
                 trace.emit(
                     TraceEvent(

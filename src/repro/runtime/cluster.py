@@ -695,6 +695,11 @@ class ClusterComputation(Computation):
         self.cost_model = cost_model or CostModel()
         self.progress_mode = progress_mode
         self.fault_tolerance = fault_tolerance or FaultTolerance()
+        if self.fault_tolerance.mode not in ("none", "checkpoint", "logging"):
+            raise ValueError(
+                "FaultTolerance.mode must be 'none', 'checkpoint' or "
+                "'logging' (got %r)" % (self.fault_tolerance.mode,)
+            )
         if self.fault_tolerance.recovery not in RECOVERY_POLICIES:
             raise ValueError(
                 "FaultTolerance.recovery must be one of %r" % (RECOVERY_POLICIES,)
@@ -721,6 +726,27 @@ class ClusterComputation(Computation):
             index // workers_per_process for index in range(self.total_workers)
         ]
         self._process_workers: Dict[int, List[_Worker]] = {}
+        #: Current cluster membership (elastic rescaling).  The list is
+        #: *shared* with every protocol node and the central accumulator
+        #: as their broadcast target set, so a membership change takes
+        #: effect everywhere at once.  ``total_workers`` never changes —
+        #: data partitioning is modulo the worker count, so rescaling
+        #: only moves worker *placement* — and a process killed under
+        #: the "reassign" policy stays listed (its ghost node keeps
+        #: receiving broadcasts, exactly as before rescaling existed);
+        #: only a planned ``remove_process`` departure leaves the list.
+        self.live_processes: List[int] = list(range(num_processes))
+        self._removed_processes: set = set()
+        #: Processes added at runtime; their views alias process 0's
+        #: object (see :meth:`_execute_add`).
+        self._mirror_processes: List[int] = []
+        #: Monotone counter of completed membership changes, and the
+        #: completed changes themselves (dicts; see :meth:`_note_rescale`).
+        self.rescale_generation = 0
+        self.rescales: List[Dict[str, Any]] = []
+        self._rescale_queue: List[Tuple[str, Optional[int]]] = []
+        self._rescale_active: Optional[Dict[str, Any]] = None
+        self._rescale_pump_token = 0
         self.recovery: Optional[RecoveryManager] = None
         #: DES self-profiling counters (see repro.obs.profile).
         self.batch_bytes_calls = 0
@@ -826,11 +852,17 @@ class ClusterComputation(Computation):
                 self.network,
                 self.nodes,
                 None,
+                members=self.live_processes,
             )
             self.nodes.append(node)
         if self.progress_mode in ("global", "local+global"):
             self.central = CentralAccumulator(
-                0, self.num_processes, self.views[0], self.network, self.nodes
+                0,
+                self.num_processes,
+                self.views[0],
+                self.network,
+                self.nodes,
+                members=self.live_processes,
             )
             for node in self.nodes:
                 node.central = self.central
@@ -882,9 +914,22 @@ class ClusterComputation(Computation):
         return release
 
     def _recheck_process(self, process: int) -> None:
-        for worker in self._process_workers.get(process, ()):
-            if worker.pending_notifications or worker.pending_cleanups:
-                worker.activate()
+        processes = [process]
+        if process == 0 and self._mirror_processes:
+            # Mirror processes alias process 0's view, so its changes
+            # are theirs too: recheck their workers' pending tables.
+            processes.extend(self._mirror_processes)
+        for p in processes:
+            for worker in self._process_workers.get(p, ()):
+                if worker.pending_notifications or worker.pending_cleanups:
+                    worker.activate()
+        if process == 0:
+            # A mirror node's buffered holds are evaluated against the
+            # shared view, which changes without the mirror receiving
+            # anything (the owner's deliveries mutate it): re-test its
+            # withheld updates, exactly like the central accumulator.
+            for p in self._mirror_processes:
+                self.nodes[p]._maybe_flush()
         if self.central is not None and process == self.central.process:
             self.central.recheck()
 
@@ -893,6 +938,31 @@ class ClusterComputation(Computation):
         for worker in self.workers:
             index.setdefault(worker.process, []).append(worker)
         self._process_workers = index
+
+    def _unique_views(self, live_only: bool = False) -> List[ProgressView]:
+        """The distinct progress-view objects, identity-deduplicated.
+
+        Mirror processes (added by :meth:`add_process`) alias process
+        0's view object, so iterating ``self.views`` would visit it
+        twice — a fence or flush applied through this helper lands on
+        each object exactly once.  ``live_only`` restricts to current
+        members: a removed process's view is stale by design and must
+        not vote in agreement checks.
+        """
+        if not self.views:
+            return []
+        processes = (
+            self.live_processes if live_only else range(len(self.views))
+        )
+        seen: set = set()
+        unique: List[ProgressView] = []
+        for process in processes:
+            view = self.views[process]
+            if id(view) in seen:
+                continue
+            seen.add(id(view))
+            unique.append(view)
+        return unique
 
     # ------------------------------------------------------------------
     # Inputs (the external producer feeds all workers' input vertices).
@@ -976,7 +1046,7 @@ class ClusterComputation(Computation):
     def _controller_broadcast(self, updates: List[Tuple[Pointstamp, int]]) -> None:
         """Low-volume control-plane updates from the controller (proc 0)."""
         size = wire_size(updates)
-        for dst in range(self.num_processes):
+        for dst in list(self.live_processes):
             node = self.nodes[dst]
             self.network.send(
                 0, dst, size, "progress", lambda n=node: n.receive(updates, ())
@@ -1037,7 +1107,10 @@ class ClusterComputation(Computation):
 
     def drained(self) -> bool:
         return (
-            all(len(view.state) == 0 for view in self.views)
+            all(
+                len(view.state) == 0
+                for view in self._unique_views(live_only=True)
+            )
             and not any(worker.has_work() for worker in self.workers)
             and self.sim.pending_events == 0
         )
@@ -1064,7 +1137,20 @@ class ClusterComputation(Computation):
             lines.extend(self.recovery.describe())
         if self.async_ckpt is not None:
             lines.extend(self.async_ckpt.describe())
+        if self.rescale_generation or self.live_processes != list(
+            range(self.num_processes)
+        ):
+            lines.append(
+                "  membership: live=%r generation=%d removed=%r"
+                % (
+                    tuple(self.live_processes),
+                    self.rescale_generation,
+                    tuple(sorted(self._removed_processes)),
+                )
+            )
         for process, view in enumerate(self.views):
+            if process in self._mirror_processes:
+                continue  # aliases process 0's view; already shown
             if len(view.state):
                 lines.append(
                     "  process %d view: %r" % (process, view.state.occurrence)
@@ -1091,6 +1177,8 @@ class ClusterComputation(Computation):
             "recovery": ft.recovery,
             "checkpoint_mode": ft.checkpoint_mode,
             "draining": bool(recovery is not None and recovery.paused),
+            "live_processes": tuple(self.live_processes),
+            "rescale_generation": self.rescale_generation,
         }
         if self.async_ckpt is not None:
             ft_info.update(
@@ -1248,6 +1336,374 @@ class ClusterComputation(Computation):
         else:
             self.sim.schedule_at(at, lambda: self.recovery.fail_process(process))
 
+    # ------------------------------------------------------------------
+    # Elastic rescaling: grow or shrink the live process set while the
+    # computation keeps running.  Both operations wait for a *fresh*
+    # durable asynchronous cut and then migrate only the moving workers
+    # via the partial-rollback machinery — the survivors' live state is
+    # never touched (see DESIGN.md, "Elastic rescaling").
+    # ------------------------------------------------------------------
+
+    def _check_rescalable(self, name: str) -> None:
+        """Eagerly reject configurations that cannot rescale, with the
+        reason, instead of failing deep inside a migration cut."""
+        ft = self.fault_tolerance
+        if ft.checkpoint_mode != "async":
+            raise ValueError(
+                "%s() requires FaultTolerance(checkpoint_mode='async'): "
+                "migration ships state over a marker-based cut taken "
+                "under live load, which the stop-the-world 'barrier' "
+                "mode cannot provide (got checkpoint_mode=%r)"
+                % (name, ft.checkpoint_mode)
+            )
+        if ft.recovery != "reassign":
+            raise ValueError(
+                "%s() requires FaultTolerance(recovery='reassign'): "
+                "moving workers between processes is exactly the "
+                "reassign placement; recovery='restart' pins every "
+                "worker to its original process (got recovery=%r)"
+                % (name, ft.recovery)
+            )
+
+    def _live_hosts(self) -> List[int]:
+        """Live members that can actually host workers (not dead)."""
+        dead = self.recovery.dead_processes if self.recovery is not None else ()
+        return [p for p in self.live_processes if p not in dead]
+
+    def add_process(self, at: Optional[float] = None) -> Optional[int]:
+        """Grow the cluster by one process while the computation runs.
+
+        Waits for a fresh durable asynchronous cut, then migrates an
+        even share of workers — drawn from the most-loaded hosts — to
+        the new process by restoring *only their* cut state there and
+        replaying their journal suffix; every other worker keeps its
+        live state and keeps running.  Requires
+        ``FaultTolerance(checkpoint_mode="async", recovery="reassign")``.
+
+        With ``at=None`` the call is synchronous (drives the simulation
+        until the migration completes) and returns the new process
+        index; with ``at`` it is scheduled at that virtual time and
+        returns None (the completed change appears in
+        :attr:`rescales`).
+        """
+        self._check_built()
+        self._check_rescalable("add_process")
+        hosting = len(self._live_hosts())
+        if self.total_workers // (hosting + 1) < 1:
+            raise ValueError(
+                "add_process(): %d workers across %d hosts leaves no "
+                "share for a new process; grow workers_per_process "
+                "instead" % (self.total_workers, hosting)
+            )
+        return self._submit_rescale(("add", None), at)
+
+    def remove_process(self, process: int, at: Optional[float] = None) -> None:
+        """Gracefully drain ``process`` out of the cluster.
+
+        Planned departure, not a kill: the operation waits for a fresh
+        durable cut, force-flushes the departing node's withheld
+        progress updates, rehomes its workers round-robin across the
+        survivors (restoring only *their* state, with replay dedup
+        keeping deliveries exactly-once), and drops the process from
+        the broadcast membership.  Requires
+        ``FaultTolerance(checkpoint_mode="async", recovery="reassign")``.
+        """
+        self._check_built()
+        self._check_rescalable("remove_process")
+        if not 0 <= process < self.num_processes:
+            raise ValueError(
+                "process %d out of range (cluster has %d)"
+                % (process, self.num_processes)
+            )
+        if process == 0:
+            raise ValueError(
+                "process 0 hosts the input controller and the progress "
+                "accumulator and cannot be removed"
+            )
+        if (
+            process in self._removed_processes
+            or process not in self.live_processes
+        ):
+            raise ValueError("process %d has already been removed" % process)
+        if process in self.recovery.dead_processes:
+            raise ValueError(
+                "process %d is dead; its workers were already reassigned "
+                "to the survivors" % process
+            )
+        if len(self._live_hosts()) <= 1:
+            raise ValueError(
+                "remove_process(%d) would leave no live process to host "
+                "the workers" % process
+            )
+        self._submit_rescale(("remove", process), at)
+
+    def _submit_rescale(
+        self, op: Tuple[str, Optional[int]], at: Optional[float]
+    ) -> Optional[int]:
+        if at is not None:
+            def queue_op() -> None:
+                self._rescale_queue.append(op)
+                self._pump_rescales()
+
+            self.sim.schedule_at(at, queue_op)
+            return None
+        self._check_not_in_event("add_process/remove_process")
+        self._ensure_pool()
+        marker = len(self.rescales)
+        self._rescale_queue.append(op)
+        self._arm_pump_at(self.sim.now)
+        while len(self.rescales) <= marker:
+            if not self.sim.step():
+                raise RuntimeError(
+                    "rescale stalled before completing:\n"
+                    + self.debug_state().text
+                )
+        record = self.rescales[marker]
+        return record["process"] if record["kind"] == "add" else None
+
+    def _pump_rescales(self) -> None:
+        """Drive queued rescale operations forward.
+
+        A small state machine re-armed off the DES event stream: wait
+        until no journal-replay dedup is draining (migrating mid-replay
+        could not tell replayed duplicates from migrated re-sends),
+        take a *fresh* durable cut so the moving workers' state and
+        ledger entries are current, re-check, then execute the
+        membership change.  The computation keeps running throughout.
+        """
+        # Invalidate any armed wake-up: this call supersedes it.  Keeping
+        # at most one live pump event matters — two pump events at the
+        # same instant would each see the other as the "next event" when
+        # re-arming and spin at a frozen virtual time forever.
+        self._rescale_pump_token += 1
+        ac = self.async_ckpt
+        while True:
+            state = self._rescale_active
+            if state is None:
+                if not self._rescale_queue:
+                    return
+                state = self._rescale_active = {
+                    "op": self._rescale_queue.pop(0),
+                    "stage": "dedup",
+                    "target": 0,
+                }
+            if state["stage"] == "dedup":
+                if ac.replay_dedup:
+                    # A replay is draining (pending deliveries exist):
+                    # wake up when the system next moves.
+                    self._rearm_rescale()
+                    return
+                if not ac.active:
+                    ac.begin_cycle()
+                state["target"] = ac.cycle
+                state["stage"] = "cut"
+            if ac.durable_cycle < state["target"]:
+                if not ac.active and ac.completed_cycle < state["target"]:
+                    # The cycle was abandoned (a failure rolled back
+                    # mid-cut); start over from a clean point now —
+                    # waiting for an event first could strand the op if
+                    # the abandonment was the last event in the queue.
+                    state["stage"] = "dedup"
+                    continue
+                self._rearm_rescale()
+                return
+            if ac.replay_dedup:
+                # A failure recovered between our cut and now; its
+                # replay must drain before the migration can start.
+                state["stage"] = "dedup"
+                self._rearm_rescale()
+                return
+            kind, process = state["op"]
+            self._rescale_active = None
+            if kind == "add":
+                self._execute_add()
+            else:
+                self._execute_remove(process)
+            # Loop: a queued follow-up op starts its own cut right away
+            # (the just-finished execution may have been the final
+            # pending event, leaving nothing to re-arm against).
+
+    def _rearm_rescale(self) -> None:
+        upcoming = self.sim.next_event_time
+        if upcoming is None:
+            raise RuntimeError(
+                "rescale stalled: no pending events while waiting for "
+                "the migration cut:\n" + self.debug_state().text
+            )
+        # Same-time events run in scheduling order, so the pump fires
+        # after the event it is waiting on.
+        self._arm_pump_at(max(upcoming, self.sim.now))
+
+    def _arm_pump_at(self, time: float) -> None:
+        """Schedule the rescale pump, invalidating any earlier arming.
+
+        The pump can be armed from several places (a re-arm while it
+        waits for the cut, a scheduled ``at=`` submission firing, a
+        synchronous submission); the token ensures only the most recent
+        arming fires, so there is never more than one live pump event.
+        """
+        token = self._rescale_pump_token
+
+        def fire() -> None:
+            if token == self._rescale_pump_token:
+                self._pump_rescales()
+
+        self.sim.schedule_at(time, fire)
+
+    def _migration_delay(self, moving: List[int]) -> float:
+        """Virtual-time cost of shipping the moving workers' snapshot
+        state and exactly-once ledger entries to their new home."""
+        ft = self.fault_tolerance
+        net = self.network.config
+        moving_set = set(moving)
+        state_bytes = ft.state_bytes_per_worker * len(moving)
+        ledger_entries = sum(
+            1 for entry in self.async_ckpt.journal if entry[1] in moving_set
+        )
+        return (
+            state_bytes / ft.disk_bandwidth
+            + (state_bytes + 64 * ledger_entries) / net.bandwidth
+            + 2 * net.latency
+        )
+
+    def _execute_add(self) -> None:
+        now = self.sim.now
+        process = self.network.add_process()
+        self.num_processes += 1
+        # The new process mirrors process 0's progress view: the shared
+        # object already holds a consistent occurrence picture, and the
+        # mirror flag on the new protocol node keeps broadcast deltas
+        # from being applied to it twice.
+        self.views.append(self.views[0])
+        node = ProtocolNode(
+            process,
+            self.num_processes,
+            self.progress_mode,
+            self.views[0],
+            self.network,
+            self.nodes,
+            self.central,
+            members=self.live_processes,
+            mirror=True,
+        )
+        self.nodes.append(node)
+        for peer in self.nodes:
+            peer.num_processes = self.num_processes
+        if self.central is not None:
+            self.central.num_processes = self.num_processes
+        self.live_processes.append(process)
+        self._mirror_processes.append(process)
+        # Pick the migrating share: repeatedly take the highest-index
+        # worker from the most-loaded donor, never draining a donor
+        # below one worker.
+        hosts = [p for p in self._live_hosts() if p != process]
+        loads: Dict[int, List[int]] = {p: [] for p in hosts}
+        for index, owner in enumerate(self._worker_process):
+            if owner in loads:
+                loads[owner].append(index)
+        for owned in loads.values():
+            owned.sort()
+        share = self.total_workers // (len(hosts) + 1)
+        moving: List[int] = []
+        while len(moving) < share:
+            donor = max(loads, key=lambda p: (len(loads[p]), -p))
+            if len(loads[donor]) <= 1:
+                break
+            moving.append(loads[donor].pop())
+        moving.sort()
+        snapshot = self.recovery.snapshot or self.recovery.initial
+        ready = now + self._migration_delay(moving)
+        injected = self.async_ckpt.partial_rollback(
+            -1,
+            snapshot,
+            ready,
+            moving=moving,
+            placement={index: process for index in moving},
+            reason="rescale",
+            flush_node=None,
+        )
+        self._note_rescale("add", process, moving, ready, injected)
+
+    def _execute_remove(self, process: int) -> None:
+        now = self.sim.now
+        if process not in self.live_processes:
+            return  # already gone (a queued duplicate); nothing to do
+        moving = [
+            index
+            for index, owner in enumerate(self._worker_process)
+            if owner == process
+        ]
+        survivors = [p for p in self._live_hosts() if p != process]
+        # Leave the membership first: the departing node's view goes
+        # stale by design, broadcasts stop targeting it, and agreement
+        # checks (drained, snapshot assembly) no longer count it.
+        self.live_processes.remove(process)
+        self._removed_processes.add(process)
+        if not moving:
+            # It hosted nothing (e.g. it died earlier under reassign
+            # and its workers already moved): pure bookkeeping.
+            self._note_rescale("remove", process, moving, now, 0)
+            return
+        placement = {
+            index: survivors[cursor % len(survivors)]
+            for cursor, index in enumerate(moving)
+        }
+        snapshot = self.recovery.snapshot or self.recovery.initial
+        ready = now + self._migration_delay(moving)
+        injected = self.async_ckpt.partial_rollback(
+            process,
+            snapshot,
+            ready,
+            moving=moving,
+            placement=placement,
+            reason="rescale",
+            flush_node=process,
+        )
+        self._note_rescale("remove", process, moving, ready, injected)
+
+    def _note_rescale(
+        self,
+        kind: str,
+        process: int,
+        moving: List[int],
+        ready: float,
+        injected: int,
+    ) -> None:
+        self.rescale_generation += 1
+        now = self.sim.now
+        record = {
+            "kind": kind,
+            "process": process,
+            "at": now,
+            "ready": ready,
+            "workers": tuple(moving),
+            "injected": injected,
+            "generation": self.rescale_generation,
+            "live": tuple(self.live_processes),
+        }
+        self.rescales.append(record)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    "rescale",
+                    now,
+                    max(0.0, ready - now),
+                    perf_counter(),
+                    -1,
+                    process,
+                    kind,
+                    (),
+                    (
+                        kind,
+                        self.rescale_generation,
+                        len(self.live_processes),
+                        tuple(moving),
+                        injected,
+                    ),
+                )
+            )
+
     def _check_not_in_event(self, name: str) -> None:
         # Re-entering the control API from inside a simulator event (a
         # vertex callback, a subscription) would re-run the event loop
@@ -1273,8 +1729,8 @@ class ClusterComputation(Computation):
             updates.extend(self.central.drain_buffer())
         merged = net_updates(updates)
         if merged:
-            for view in self.views:
-                view.apply(merged)
+            for view in self._unique_views():
+                view.apply(list(merged))
 
     def _rebuild_workers(self, busy_until: float = 0.0) -> None:
         """Replace every worker object (global rollback after a kill).
@@ -1337,7 +1793,7 @@ class ClusterComputation(Computation):
         if self.central is not None:
             self.central.reset()
         occurrence = snapshot["occurrence"]
-        for view in self.views:
+        for view in self._unique_views():
             view.reset(occurrence)
         if self.async_ckpt is not None:
             self.async_ckpt.note_global_restore(snapshot)

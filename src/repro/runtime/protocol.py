@@ -178,6 +178,9 @@ class ProtocolNode:
         network: Network,
         nodes: List["ProtocolNode"],
         central: Optional["CentralAccumulator"],
+        *,
+        members: Optional[List[int]] = None,
+        mirror: bool = False,
     ):
         if mode not in PROTOCOL_MODES:
             raise ValueError("unknown protocol mode %r" % mode)
@@ -188,6 +191,14 @@ class ProtocolNode:
         self.network = network
         self.nodes = nodes
         self.central = central
+        #: Current cluster membership (a live, shared list under elastic
+        #: rescaling); None broadcasts to range(num_processes).
+        self.members = members
+        #: A mirror node shares another process's view object (elastic
+        #: add_process): it buffers and flushes its own workers' updates
+        #: normally but must not apply received broadcasts — the view
+        #: owner's delivery already applies them to the shared object.
+        self.mirror = mirror
         self.buffer: Dict[Pointstamp, int] = {}
         self._in_flight: Dict[int, List[ProgressUpdate]] = {}
         self._in_flight_totals: Dict[Pointstamp, int] = {}
@@ -345,7 +356,8 @@ class ProtocolNode:
         seq = self._remember_in_flight(updates)
         covered = ((self.process, seq),)
         size = wire_size(updates)
-        for dst in range(self.num_processes):
+        targets = self.members if self.members is not None else range(self.num_processes)
+        for dst in list(targets):
             node = self.nodes[dst]
             self.network.send(
                 self.process,
@@ -409,7 +421,10 @@ class ProtocolNode:
         for origin, seq in covered:
             if origin == self.process:
                 self._forget_in_flight(seq)
-        self.view.apply(updates)
+        if not self.mirror:
+            # A mirror node's view is another process's object; that
+            # process's own delivery applies the updates exactly once.
+            self.view.apply(updates)
         # The paper: on receiving updates the accumulator must re-test
         # whether its buffered pointstamps may still be withheld.
         self._maybe_flush()
@@ -430,12 +445,17 @@ class CentralAccumulator:
         view: ProgressView,
         network: Network,
         nodes: List[ProtocolNode],
+        *,
+        members: Optional[List[int]] = None,
     ):
         self.process = process
         self.num_processes = num_processes
         self.view = view
         self.network = network
         self.nodes = nodes
+        #: Current cluster membership (shared with the cluster under
+        #: elastic rescaling); None broadcasts to range(num_processes).
+        self.members = members
         self.buffer: Dict[Pointstamp, int] = {}
         self._covered: List[Tuple[int, int]] = []
         self._in_flight: Dict[int, List[ProgressUpdate]] = {}
@@ -590,7 +610,8 @@ class CentralAccumulator:
                 self._holds_invalidated(pointstamp)
         covered = covered + ((-1, seq),)
         size = wire_size(updates)
-        for dst in range(self.num_processes):
+        targets = self.members if self.members is not None else range(self.num_processes)
+        for dst in list(targets):
             node = self.nodes[dst]
             self.network.send(
                 self.process,

@@ -1,0 +1,185 @@
+"""Metrics-driven elastic autoscaling for the simulated cluster.
+
+Closes the loop the ISSUE's related work sketches (SnailTrail-style
+online analysis feeding placement decisions): an :class:`Autoscaler`
+samples the live trace stream on a fixed virtual-time interval,
+computes per-host utilization from the worker callback spans
+(:mod:`repro.obs.metrics`'s span vocabulary), and calls
+:meth:`ClusterComputation.add_process` /
+:meth:`~ClusterComputation.remove_process` when the load stays beyond
+its thresholds for ``sustain`` consecutive samples — hysteresis plus a
+post-decision cooldown keep it from flapping while a migration's
+replay is still draining.
+
+The controller is entirely passive with respect to correctness: it
+only ever requests the same planned membership changes a human
+operator could, and those ride the async-cut migration path, so
+per-epoch outputs are bit-identical with the controller on or off —
+only the virtual-time performance profile changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.metrics import _SPAN_KINDS
+from ..obs.trace import TraceSink
+
+
+@dataclass
+class AutoscalePolicy:
+    """Thresholds and pacing for the autoscaling control loop.
+
+    Utilization is measured per sample window as the total worker busy
+    time divided by ``live_hosts * interval`` — i.e. "busy workers per
+    host".  With the default thresholds a host carrying most of a
+    worker's load sustains a grow, and a mostly idle fleet sustains a
+    shrink.
+    """
+
+    #: Virtual-time sampling interval, seconds.
+    interval: float = 0.005
+    #: Grow when utilization stays at or above this for ``sustain``
+    #: consecutive samples.
+    high_utilization: float = 0.75
+    #: Shrink when utilization stays at or below this for ``sustain``
+    #: consecutive samples.
+    low_utilization: float = 0.35
+    #: Consecutive out-of-band samples required before acting.
+    sustain: int = 3
+    #: Virtual time after a decision during which no new decision is
+    #: taken (lets the migration blip and its replay drain).
+    cooldown: float = 0.02
+    #: Never shrink below this many live hosts.
+    min_processes: int = 1
+    #: Never grow beyond this many live hosts.
+    max_processes: int = 16
+
+
+class Autoscaler:
+    """Watches a :class:`repro.obs.TraceSink` and rescales the cluster.
+
+    ::
+
+        sink = TraceSink()
+        comp.attach_trace_sink(sink)
+        Autoscaler(comp, sink).start()   # before driving inputs
+
+    Sampling rides :meth:`Simulator.schedule_background`, so the
+    controller only observes while foreground work exists and never
+    keeps an otherwise finished simulation alive.  Decisions are
+    recorded in :attr:`decisions`; utilization samples in
+    :attr:`samples` as ``(t, utilization, live_hosts)``.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        sink: TraceSink,
+        policy: Optional[AutoscalePolicy] = None,
+    ) -> None:
+        cluster._check_built()
+        cluster._check_rescalable("Autoscaler")
+        self.cluster = cluster
+        self.sink = sink
+        self.policy = policy or AutoscalePolicy()
+        if self.policy.low_utilization >= self.policy.high_utilization:
+            raise ValueError(
+                "AutoscalePolicy.low_utilization (%r) must be below "
+                "high_utilization (%r) — equal or inverted thresholds "
+                "make every sample both a grow and a shrink signal"
+                % (self.policy.low_utilization, self.policy.high_utilization)
+            )
+        self._cursor = len(sink.events)
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown_until = 0.0
+        self._started = False
+        #: ``(t, utilization, live_hosts)`` per sample window.
+        self.samples: List[Tuple[float, float, int]] = []
+        #: One dict per add/remove decision taken.
+        self.decisions: List[Dict[str, Any]] = []
+
+    def start(self) -> "Autoscaler":
+        """Arm the sampling loop (idempotent)."""
+        if not self._started:
+            self._started = True
+            self._arm()
+        return self
+
+    def _arm(self) -> None:
+        self.cluster.sim.schedule_background(
+            self.policy.interval, self._sample
+        )
+
+    def _utilization(self, hosts: int) -> float:
+        """Busy-workers-per-host over the spans since the last sample."""
+        events = self.sink.events
+        busy = 0.0
+        for event in events[self._cursor :]:
+            if event.kind in _SPAN_KINDS and event.worker >= 0:
+                busy += event.dur
+        self._cursor = len(events)
+        if hosts <= 0:
+            return 0.0
+        return busy / (hosts * self.policy.interval)
+
+    def _sample(self) -> None:
+        cluster = self.cluster
+        policy = self.policy
+        now = cluster.sim.now
+        hosting = cluster._live_hosts()
+        utilization = self._utilization(len(hosting))
+        self.samples.append((now, utilization, len(hosting)))
+        if utilization >= policy.high_utilization:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif utilization <= policy.low_utilization:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        if (
+            now >= self._cooldown_until
+            and cluster._rescale_active is None
+            and not cluster._rescale_queue
+        ):
+            if (
+                self._high_streak >= policy.sustain
+                and len(hosting) < policy.max_processes
+                and cluster.total_workers // (len(hosting) + 1) >= 1
+            ):
+                cluster.add_process(at=now)
+                self.decisions.append(
+                    {
+                        "kind": "add",
+                        "at": now,
+                        "utilization": utilization,
+                        "hosts": len(hosting),
+                    }
+                )
+                self._cooldown_until = now + policy.cooldown
+                self._high_streak = 0
+            elif self._low_streak >= policy.sustain and len(hosting) > max(
+                1, policy.min_processes
+            ):
+                # Shed the highest-numbered removable host; process 0
+                # (controller + accumulator) can never leave.
+                candidates = [p for p in hosting if p != 0]
+                if candidates:
+                    victim = max(candidates)
+                    cluster.remove_process(victim, at=now)
+                    self.decisions.append(
+                        {
+                            "kind": "remove",
+                            "process": victim,
+                            "at": now,
+                            "utilization": utilization,
+                            "hosts": len(hosting),
+                        }
+                    )
+                    self._cooldown_until = now + policy.cooldown
+                    self._low_streak = 0
+        self._arm()

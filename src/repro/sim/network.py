@@ -133,6 +133,27 @@ class Network:
         return max(self.sim.now, self._gc_busy_until[process])
 
     # ------------------------------------------------------------------
+    # Elastic rescaling.
+    # ------------------------------------------------------------------
+
+    def add_process(self) -> int:
+        """Grow the topology by one process and return its index.
+
+        The new process gets fresh NIC occupancy state and (when the
+        straggler model is on) its own GC pause schedule.  Departed
+        processes keep their slots — process indices are stable for the
+        life of the simulation — so removal needs no network change.
+        """
+        process = self.num_processes
+        self.num_processes += 1
+        self._egress_free.append(0.0)
+        self._ingress_free.append(0.0)
+        self._gc_busy_until.append(0.0)
+        if self.config.gc_interval > 0:
+            self._schedule_gc(process)
+        return process
+
+    # ------------------------------------------------------------------
     # Message delivery.
     # ------------------------------------------------------------------
 

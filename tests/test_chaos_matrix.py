@@ -67,6 +67,57 @@ def test_kill_matrix_outputs_bit_identical(mode, backend, plan):
             assert comp.recovery.failures[0]["mode"] in ("partial", "skip")
 
 
+#: Planned membership changes injected at the same schedule points as
+#: the kills: grow by one process, drain one out, or both in sequence.
+RESCALE_EVENTS = ("add", "remove", "add-remove")
+
+RESCALE_MATRIX = [
+    (event, backend, plan)
+    for event in RESCALE_EVENTS
+    for backend in BACKENDS
+    for plan in PLANS
+]
+
+
+def _rescale_ops(event, duration, frac):
+    at = duration * frac
+    if event == "add":
+        return [("add", at)]
+    if event == "remove":
+        return [("remove", 2, at)]
+    # Grow, then drain a founding member shortly after: the remove's
+    # cut must cope with the add's migration replay still in the past.
+    return [("add", at), ("remove", 1, duration * (frac + 0.1))]
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("event,backend,plan", RESCALE_MATRIX, ids=_ids)
+def test_rescale_matrix_outputs_bit_identical(event, backend, plan):
+    expected, duration = baseline("wordcount", (3, 2))
+    kwargs = {}
+    if backend == "mp":
+        kwargs["backend"] = "mp"
+        kwargs["pool_workers"] = 2
+    if plan == "fused":
+        kwargs["optimize"] = True
+    for frac in KILL_POINTS:
+        ft = make_ft("checkpoint", policy="reassign")
+        ft.checkpoint_mode = "async"
+        out, comp = run_cluster(
+            "wordcount",
+            (3, 2),
+            ft=ft,
+            rescale=_rescale_ops(event, duration, frac),
+            **kwargs
+        )
+        assert out == expected, (event, backend, plan, frac)
+        kinds = [r["kind"] for r in comp.rescales]
+        assert kinds == event.split("-"), (event, kinds)
+        # Planned changes are not failures: nothing may escalate to a
+        # whole-cluster rollback.
+        assert not comp.recovery.failures, (event, backend, plan, frac)
+
+
 @pytest.mark.chaos
 @pytest.mark.parametrize("mode", CHECKPOINT_MODES)
 def test_kill_matrix_iteration_case(mode):

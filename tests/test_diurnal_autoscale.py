@@ -1,0 +1,59 @@
+"""The diurnal-autoscaling example, run under pytest.
+
+``examples/diurnal_autoscale.py`` feeds the Figure 1 application a
+tweet stream whose rate follows a day (quiet, peak, quiet) while an
+:class:`repro.runtime.Autoscaler` rescales the live cluster from the
+trace stream.  This wrapper enforces the example's invariants in the
+suite: the controller both grows and shrinks the fleet, and every
+query answer matches the fixed-shape run exactly.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+)
+
+import diurnal_autoscale  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def fixed_run():
+    return diurnal_autoscale.run(autoscale=False)
+
+
+@pytest.fixture(scope="module")
+def autoscaled_run():
+    return diurnal_autoscale.run(autoscale=True)
+
+
+def test_fixed_shape_answers_every_query(fixed_run):
+    responses, comp, scaler = fixed_run
+    assert scaler is None
+    assert sorted(responses) == list(
+        range(len(diurnal_autoscale.DIURNAL_CURVE))
+    )
+    for epoch, batch in responses.items():
+        assert [qid for qid, _, _ in batch] == ["q%d" % epoch]
+
+
+def test_peak_grows_and_quiet_evening_shrinks(autoscaled_run):
+    _, comp, scaler = autoscaled_run
+    kinds = [d["kind"] for d in scaler.decisions]
+    assert "add" in kinds, scaler.decisions
+    assert "remove" in kinds, scaler.decisions
+    assert kinds.index("add") < kinds.index("remove")
+    assert [r["kind"] for r in comp.rescales][: len(kinds)] == kinds
+    # The shrink drains the process the grow added, back to the floor.
+    assert len(comp.live_processes) >= diurnal_autoscale.POLICY.min_processes
+
+def test_rescale_answers_match_fixed_shape_run(fixed_run, autoscaled_run):
+    expected, _, _ = fixed_run
+    responses, comp, scaler = autoscaled_run
+    assert responses == expected
+    # Planned migrations only: nothing escalated to a failure rollback.
+    assert not comp.recovery.failures
+    assert scaler.samples

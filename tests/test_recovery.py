@@ -130,7 +130,8 @@ CASES = {
 
 
 def run_cluster(
-    case, shape, ft=None, kill=None, network=None, seed=0, trace=None, **kwargs
+    case, shape, ft=None, kill=None, network=None, seed=0, trace=None,
+    rescale=None, **kwargs
 ):
     program, epochs = CASES[case]
     procs, wpp = shape
@@ -146,6 +147,11 @@ def run_cluster(
         comp.attach_trace_sink(trace)
     inp, out = program(comp)
     comp.build()
+    for op in rescale or ():
+        if op[0] == "add":
+            comp.add_process(at=op[1])
+        else:
+            comp.remove_process(op[1], at=op[2])
     if kill is not None:
         process, at = kill
         comp.kill_process(process, at=at)
