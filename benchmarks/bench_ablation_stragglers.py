@@ -11,7 +11,7 @@ from but does not plot.
 """
 
 from repro.core import Timestamp, Vertex
-from repro.lib import Loop, Stream
+from repro.lib import Stream
 from repro.runtime import ClusterComputation
 from repro.sim import NetworkConfig
 
@@ -79,18 +79,13 @@ def run_barrier(config: NetworkConfig):
     )
     samples = []
     inp = comp.new_input()
-    loop = Loop(comp, max_iterations=ITERATIONS, name="barrier")
-    stage = comp.graph.new_stage(
-        "barrier",
-        lambda s, w: BarrierVertex(lambda: comp.now, samples),
-        2,
-        1,
-        context=loop.context,
-    )
-    Stream.from_input(inp).enter(loop).connect_to(stage, 0)
-    Stream(comp, stage, 0).connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(stage, 1)
+    with comp.scope("barrier", max_iterations=ITERATIONS) as loop:
+        stage = loop.stage(
+            "barrier", lambda s, w: BarrierVertex(lambda: comp.now, samples), 2, 1
+        )
+        loop.enter(Stream.from_input(inp)).connect_to(stage, 0)
+        loop.feed(Stream(comp, stage, 0))
+        loop.feedback.connect_to(stage, 1)
     comp.build()
     inp.on_next(list(range(COMPUTERS)))
     inp.on_completed()

@@ -12,7 +12,7 @@ records per computer through the real routing/progress code paths.
 """
 
 from repro.core import Timestamp, Vertex
-from repro.lib import Loop, Stream
+from repro.lib import Stream
 from repro.runtime import ClusterComputation, CostModel, SyntheticRecords
 
 from bench_harness import format_table, report
@@ -51,14 +51,11 @@ def run_exchange(num_computers: int, cost_model: CostModel) -> float:
         progress_mode="local+global",
     )
     inp = comp.new_input()
-    loop = Loop(comp, max_iterations=ITERATIONS, name="exchange")
-    stage = comp.graph.new_stage(
-        "exchange", lambda s, w: AllToAllVertex(), 2, 1, context=loop.context
-    )
-    Stream.from_input(inp).enter(loop).connect_to(stage, 0)
-    Stream(comp, stage, 0).connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(stage, 1, partitioner=lambda b: b.dest)
+    with comp.scope("exchange", max_iterations=ITERATIONS) as loop:
+        stage = loop.stage("exchange", lambda s, w: AllToAllVertex(), 2, 1)
+        loop.enter(Stream.from_input(inp)).connect_to(stage, 0)
+        loop.feed(Stream(comp, stage, 0))
+        loop.feedback.connect_to(stage, 1, partitioner=lambda b: b.dest)
     comp.build()
     inp.on_next(list(range(num_computers)))  # one token per worker
     inp.on_completed()

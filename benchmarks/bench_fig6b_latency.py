@@ -14,7 +14,7 @@ configuration: 20 ms retransmit timers, Nagle off).
 """
 
 from repro.core import Timestamp, Vertex
-from repro.lib import Loop, Stream
+from repro.lib import Stream
 from repro.runtime import ClusterComputation
 from repro.sim import NetworkConfig
 
@@ -59,18 +59,16 @@ def run_barrier(num_computers: int, seed: int = 0):
     )
     samples = []
     inp = comp.new_input()
-    loop = Loop(comp, max_iterations=ITERATIONS, name="barrier")
-    stage = comp.graph.new_stage(
-        "barrier",
-        lambda s, w: BarrierVertex(ITERATIONS, lambda: comp.now, samples),
-        2,
-        1,
-        context=loop.context,
-    )
-    Stream.from_input(inp).enter(loop).connect_to(stage, 0)
-    Stream(comp, stage, 0).connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(stage, 1)
+    with comp.scope("barrier", max_iterations=ITERATIONS) as loop:
+        stage = loop.stage(
+            "barrier",
+            lambda s, w: BarrierVertex(ITERATIONS, lambda: comp.now, samples),
+            2,
+            1,
+        )
+        loop.enter(Stream.from_input(inp)).connect_to(stage, 0)
+        loop.feed(Stream(comp, stage, 0))
+        loop.feedback.connect_to(stage, 1)
     comp.build()
     inp.on_next(list(range(num_computers)))
     inp.on_completed()

@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
-from ..lib.stream import Loop, Stream, hash_partitioner
+from ..lib.stream import Stream, hash_partitioner
 from ..opt.plan import OpSpec
 
 
@@ -33,6 +33,8 @@ class MinLabelVertex(Vertex):
     Output 1: label improvements ``(node, label)``; the minimum per node
     over the epoch is the component label.
     """
+
+    notifies = False
 
     def __init__(self):
         super().__init__()
@@ -114,34 +116,24 @@ def label_propagation(
     SCC implementation, which propagates along one direction only.
     """
     computation = arcs.computation
-    loop = Loop(
-        computation,
-        parent=arcs.context,
-        max_iterations=max_iterations,
-        name=name,
-    )
-    stage = computation.graph.new_stage(
-        name,
-        lambda s, w: MinLabelVertex(),
-        2,
-        2,
-        context=loop.context,
-    )
-    # Label propagation is monotone (labels only decrease) and processes
-    # records one at a time, so merging adjacent deliveries of arcs or
-    # proposals cannot change the labels it settles on — declare it
-    # batchable so the optimizer's coalescing pass can collapse the
-    # proposal fan-in, the dominant source of DES events in the loop.
-    stage.opspec = OpSpec("minlabel", fusable=False, batchable=True)
-    arcs.enter(loop).connect_to(
-        stage, 0, partitioner=hash_partitioner(lambda arc: arc[0])
-    )
-    Stream(computation, stage, 0).connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(
-        stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
-    )
-    return Stream(computation, stage, 1).leave()
+    with computation.scope(name, max_iterations=max_iterations, parent=arcs.context) as scope:
+        stage = scope.stage(name, lambda s, w: MinLabelVertex(), 2, 2)
+        # Label propagation is monotone (labels only decrease) and
+        # processes records one at a time, so merging adjacent
+        # deliveries of arcs or proposals cannot change the labels it
+        # settles on — declare it batchable so the optimizer's
+        # coalescing pass can collapse the proposal fan-in, the
+        # dominant source of DES events in the loop.
+        stage.opspec = OpSpec("minlabel", fusable=False, batchable=True)
+        scope.enter(arcs).connect_to(
+            stage, 0, partitioner=hash_partitioner(lambda arc: arc[0])
+        )
+        scope.feed(Stream(computation, stage, 0))
+        scope.feedback.connect_to(
+            stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
+        )
+        out = scope.leave_with(Stream(computation, stage, 1))
+    return out
 
 
 def wcc_oracle(edges: List[Tuple[Any, Any]]) -> Dict[Any, Any]:

@@ -23,7 +23,7 @@ import numpy as np
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
 from ..lib.allreduce import allreduce
-from ..lib.stream import Loop, Stream
+from ..lib.stream import Stream
 
 
 def make_dataset(
@@ -127,22 +127,18 @@ def logistic_regression(
     baseline topology).
     """
     computation = shards.computation
-    loop = Loop(
-        computation, parent=shards.context, max_iterations=iterations + 1, name=name
-    )
-    stage = computation.graph.new_stage(
-        name,
-        lambda s, w: TrainVertex(iterations, learning_rate, num_features),
-        2,
-        2,
-        context=loop.context,
-    )
-    shards.enter(loop).connect_to(stage, 0, partitioner=lambda rec: rec[0])
-    reduced = reducer(Stream(computation, stage, 0))
-    reduced.connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(stage, 1, partitioner=lambda rec: rec[0])
-    return Stream(computation, stage, 1).leave()
+    with shards.scoped_loop(name=name, max_iterations=iterations + 1) as loop:
+        stage = loop.stage(
+            name,
+            lambda s, w: TrainVertex(iterations, learning_rate, num_features),
+            2,
+            2,
+        )
+        loop.entered.connect_to(stage, 0, partitioner=lambda rec: rec[0])
+        loop.feed(reducer(Stream(computation, stage, 0)))
+        loop.feedback.connect_to(stage, 1, partitioner=lambda rec: rec[0])
+        out = loop.leave_with(Stream(computation, stage, 1))
+    return out
 
 
 def logistic_oracle(

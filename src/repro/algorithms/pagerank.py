@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Tuple
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
 from ..lib.pregel import final_states, pregel
-from ..lib.stream import Loop, Stream, hash_partitioner
+from ..lib.stream import Stream, hash_partitioner
 from ..workloads.graphs import zorder
 
 DAMPING = 0.85
@@ -106,27 +106,23 @@ def pagerank_vertex(
 ) -> Stream:
     """The source-partitioned matvec implementation."""
     computation = edges.computation
-    loop = Loop(
-        computation, parent=edges.context, max_iterations=iterations + 1, name=name
-    )
-    stage = computation.graph.new_stage(
-        name, lambda s, w: PageRankVertex(iterations), 2, 2, context=loop.context
-    )
     # Each edge becomes an out-edge record at its source's owner plus an
     # existence record at its destination's owner.
     node_records = edges.select_many(
         lambda edge: [(edge[0], edge[1]), (edge[1], None)],
         name="%s.nodes" % name,
     )
-    node_records.enter(loop).connect_to(
-        stage, 0, partitioner=hash_partitioner(lambda rec: rec[0])
-    )
-    Stream(computation, stage, 0).connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(
-        stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
-    )
-    return Stream(computation, stage, 1).leave()
+    with node_records.scoped_loop(name=name, max_iterations=iterations + 1) as loop:
+        stage = loop.stage(name, lambda s, w: PageRankVertex(iterations), 2, 2)
+        loop.entered.connect_to(
+            stage, 0, partitioner=hash_partitioner(lambda rec: rec[0])
+        )
+        loop.feed(Stream(computation, stage, 0))
+        loop.feedback.connect_to(
+            stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
+        )
+        out = loop.leave_with(Stream(computation, stage, 1))
+    return out
 
 
 def pagerank_pregel(
@@ -288,39 +284,33 @@ def pagerank_edge(
     follower graphs where sinks are a small minority.
     """
     computation = edges.computation
-    loop = Loop(
-        computation, parent=edges.context, max_iterations=iterations + 2, name=name
-    )
-    block_stage = computation.graph.new_stage(
-        "%s.blocks" % name, lambda s, w: _EdgeBlockVertex(), 2, 2, context=loop.context
-    )
-    rank_stage = computation.graph.new_stage(
-        "%s.ranks" % name,
-        lambda s, w: _SfcRankVertex(iterations),
-        2,
-        2,
-        context=loop.context,
-    )
-    edges.enter(loop).connect_to(
-        block_stage, 0, partitioner=lambda edge: zorder(edge[0], edge[1])
-    )
-    # Shares: rank -> blocks, routed by explicit block id.
-    Stream(computation, rank_stage, 0).connect_to(
-        block_stage, 1, partitioner=lambda rec: rec[0]
-    )
-    # Partials: blocks -> feedback 1 -> rank, routed by destination node.
-    Stream(computation, block_stage, 0).connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(
-        rank_stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
-    )
-    # Registrations: blocks -> feedback 2 -> rank, routed by source node.
-    reg_feedback = computation.add_feedback(loop.context, iterations + 2)
-    Stream(computation, block_stage, 1).connect_to(reg_feedback, 0)
-    Stream(computation, reg_feedback, 0).connect_to(
-        rank_stage, 0, partitioner=hash_partitioner(lambda rec: rec[0])
-    )
-    return Stream(computation, rank_stage, 1).leave()
+    with edges.scoped_loop(name=name, max_iterations=iterations + 2) as loop:
+        block_stage = loop.stage(
+            "%s.blocks" % name, lambda s, w: _EdgeBlockVertex(), 2, 2
+        )
+        rank_stage = loop.stage(
+            "%s.ranks" % name, lambda s, w: _SfcRankVertex(iterations), 2, 2
+        )
+        loop.entered.connect_to(
+            block_stage, 0, partitioner=lambda edge: zorder(edge[0], edge[1])
+        )
+        # Shares: rank -> blocks, routed by explicit block id.
+        Stream(computation, rank_stage, 0).connect_to(
+            block_stage, 1, partitioner=lambda rec: rec[0]
+        )
+        # Partials: blocks -> feedback 1 -> rank, routed by destination node.
+        loop.feed(Stream(computation, block_stage, 0))
+        loop.feedback.connect_to(
+            rank_stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
+        )
+        # Registrations: blocks -> feedback 2 -> rank, routed by source node.
+        registrations = loop.feedback_edge(iterations + 2)
+        registrations.feed(Stream(computation, block_stage, 1))
+        registrations.stream.connect_to(
+            rank_stage, 0, partitioner=hash_partitioner(lambda rec: rec[0])
+        )
+        out = loop.leave_with(Stream(computation, rank_stage, 1))
+    return out
 
 
 def pagerank_oracle(

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
-from ..lib.stream import Loop, Stream, hash_partitioner
+from ..lib.stream import Stream, hash_partitioner
 
 
 class MultiSourceBfsVertex(Vertex):
@@ -88,12 +88,6 @@ def approximate_shortest_paths(
 
     arcs = edges.select_many(to_records, name="%s.arcs" % name)
     computation = edges.computation
-    loop = Loop(
-        computation, parent=edges.context, max_iterations=max_iterations, name=name
-    )
-    stage = computation.graph.new_stage(
-        name, lambda s, w: MultiSourceBfsVertex(), 2, 2, context=loop.context
-    )
     seeded = arcs.concat(
         edges.buffered(
             lambda records: [("seed", landmark, landmark) for landmark in landmarks]
@@ -104,15 +98,16 @@ def approximate_shortest_paths(
         ),
         name="%s.input" % name,
     )
-    seeded.enter(loop).connect_to(
-        stage, 0, partitioner=hash_partitioner(lambda rec: rec[1])
-    )
-    Stream(computation, stage, 0).connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(
-        stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
-    )
-    improvements = Stream(computation, stage, 1).leave()
+    with seeded.scoped_loop(name=name, max_iterations=max_iterations) as loop:
+        stage = loop.stage(name, lambda s, w: MultiSourceBfsVertex(), 2, 2)
+        loop.entered.connect_to(
+            stage, 0, partitioner=hash_partitioner(lambda rec: rec[1])
+        )
+        loop.feed(Stream(computation, stage, 0))
+        loop.feedback.connect_to(
+            stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
+        )
+        improvements = loop.leave_with(Stream(computation, stage, 1))
     return improvements.aggregate_by(
         lambda rec: (rec[0], rec[1]),
         lambda rec: rec[2],

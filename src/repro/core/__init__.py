@@ -13,11 +13,14 @@ from .dot import to_dot
 from .runtime_api import RuntimeDebugState, TimelyRuntime
 from .graph import (
     Connector,
+    CrossScopeConnectError,
     DataflowGraph,
+    FeedbackNotConnectedError,
     GraphValidationError,
     LoopContext,
     Stage,
     StageKind,
+    UnclosedScopeError,
 )
 from .pathsummary import Antichain, PathSummary, minimal_summaries
 from .pointstamp import could_result_in
@@ -29,9 +32,12 @@ __all__ = [
     "Antichain",
     "Computation",
     "Connector",
+    "CrossScopeConnectError",
     "DataflowGraph",
+    "FeedbackNotConnectedError",
     "ForwardingVertex",
     "GraphValidationError",
+    "UnclosedScopeError",
     "InputHandle",
     "LoopContext",
     "PathSummary",

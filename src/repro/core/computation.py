@@ -195,6 +195,34 @@ class Computation(TimelyRuntime):
     ) -> LoopContext:
         return self.graph.new_loop_context(parent, name)
 
+    def scope(
+        self,
+        name: str = "loop",
+        max_iterations: Optional[int] = None,
+        parent: Optional[LoopContext] = None,
+    ):
+        """Open a free-standing loop scope (a context manager).
+
+        The builder-API counterpart of :meth:`Stream.scoped_loop` for
+        loops without a single anchoring stream::
+
+            with comp.scope("pregel", max_iterations=50) as scope:
+                body = scope.stage(...)
+                scope.enter(graph_stream).connect_to(body, 0, ...)
+                scope.feedback.connect_to(body, 1, ...)
+                scope.feed(Stream(comp, body, 0), partitioner=...)
+                out = scope.leave_with(Stream(comp, body, 1))
+
+        Returns a :class:`repro.lib.stream.LoopScope`; ``__exit__``
+        validates that every feedback edge was fed and build() inside
+        the block raises :class:`repro.core.graph.UnclosedScopeError`.
+        """
+        from ..lib.stream import LoopScope
+
+        return LoopScope(
+            self, parent=parent, max_iterations=max_iterations, name=name
+        )
+
     def add_ingress(self, context: LoopContext, name: Optional[str] = None) -> Stage:
         return self.graph.new_stage(
             name or "%s.ingress" % context.name,

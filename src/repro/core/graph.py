@@ -18,9 +18,9 @@ relation via :func:`repro.core.pathsummary.minimal_summaries`.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional
 
-from .pathsummary import Antichain, PathSummary, minimal_summaries
+from .pathsummary import PathSummary
 
 
 class StageKind(enum.Enum):
@@ -208,6 +208,61 @@ class GraphValidationError(ValueError):
     """Raised when a dataflow graph violates the structural rules."""
 
 
+class UnclosedScopeError(GraphValidationError):
+    """A builder scope was still open when the graph was frozen.
+
+    Raised when ``build()`` runs inside a ``with computation.scope(...)``
+    / ``with stream.scoped_loop(...)`` block: the scope's feedback wiring
+    and validation happen at ``__exit__``, so freezing earlier would
+    bake in a half-built loop.
+    """
+
+    def __init__(self, names):
+        self.names = list(names)
+        super().__init__(
+            "cannot freeze the graph while scope(s) %s are still open; "
+            "call build() after the with-block" % ", ".join(map(repr, self.names))
+        )
+
+
+class FeedbackNotConnectedError(GraphValidationError):
+    """A loop scope was closed without connecting its feedback input.
+
+    Every feedback stage created inside a ``scoped_loop`` /
+    ``computation.scope`` block must be fed (``loop.feed(stream)``)
+    before the with-block exits — a loop whose cycle is never closed
+    deadlocks the iteration it was built for.
+    """
+
+    def __init__(self, scope_name, edges):
+        self.scope_name = scope_name
+        self.edges = edges
+        super().__init__(
+            "scope %r was closed with %d unconnected feedback edge(s); "
+            "call loop.feed(stream) (or edge.feed(stream)) before the "
+            "with-block exits" % (scope_name, edges)
+        )
+
+
+class CrossScopeConnectError(GraphValidationError):
+    """A connector was drawn between two different loop scopes.
+
+    Streams cross scope boundaries only through ingress/egress stages
+    (the builder API's ``scoped_loop`` arranges these); any other
+    cross-scope ``connect`` is rejected eagerly at build time.
+    """
+
+    def __init__(self, src, src_port, dst, dst_port):
+        self.src = src
+        self.dst = dst
+        super().__init__(
+            "connector %r[%d] -> %r[%d] crosses a loop-context boundary; "
+            "route it through an ingress or egress stage (use "
+            "stream.scoped_loop() / loop.leave_with())"
+            % (src.name, src_port, dst.name, dst_port)
+        )
+
+
 class DataflowGraph:
     """A complete logical timely dataflow graph.
 
@@ -220,8 +275,12 @@ class DataflowGraph:
         self.stages: List[Stage] = []
         self.connectors: List[Connector] = []
         self.contexts: List[LoopContext] = []
+        #: Builder scopes currently inside their with-block (the scope
+        #: context managers push/pop); freeze() rejects a graph with
+        #: open scopes eagerly.
+        self.open_scopes: List[object] = []
         self._frozen = False
-        self._summaries: Optional[Dict[Tuple[object, object], Antichain]] = None
+        self._summaries = None  # SummaryIndex once frozen
 
     # ------------------------------------------------------------------
     # Construction.
@@ -276,11 +335,7 @@ class DataflowGraph:
                 "input port %d of %r is already connected" % (dst_port, dst)
             )
         if src.output_context is not dst.input_context:
-            raise GraphValidationError(
-                "connector %r[%d] -> %r[%d] crosses a loop-context boundary; "
-                "route it through an ingress or egress stage"
-                % (src.name, src_port, dst.name, dst_port)
-            )
+            raise CrossScopeConnectError(src, src_port, dst, dst_port)
         connector = Connector(
             self, len(self.connectors), src, src_port, dst, dst_port, partitioner
         )
@@ -298,11 +353,24 @@ class DataflowGraph:
     # ------------------------------------------------------------------
 
     def freeze(self) -> None:
-        """Validate the structure and compute could-result-in summaries."""
+        """Validate the structure and compute could-result-in summaries.
+
+        Summaries are computed *per scope* (one table per loop context
+        plus the root, child scopes collapsed to boundary nodes) and
+        exposed through a hierarchical :class:`repro.core.scope
+        .SummaryIndex` that keeps the mapping interface of the old
+        global table.
+        """
         if self._frozen:
             return
+        if self.open_scopes:
+            raise UnclosedScopeError(
+                scope.context.name for scope in self.open_scopes
+            )
         self.validate()
-        self._summaries = self._compute_summaries()
+        from .scope import build_summary_index
+
+        self._summaries = build_summary_index(self)
         self._frozen = True
 
     @property
@@ -347,34 +415,21 @@ class DataflowGraph:
                 "cycle without a feedback stage involving %r" % (cyclic,)
             )
 
-    def _compute_summaries(self) -> Dict[Tuple[object, object], Antichain]:
-        locations: List[object] = list(self.stages) + list(self.connectors)
-        depths: Dict[object, int] = {}
-        for stage in self.stages:
-            depths[stage] = stage.input_depth
-        for connector in self.connectors:
-            depths[connector] = connector.depth
-        links: List[Tuple[object, object, PathSummary]] = []
-        for connector in self.connectors:
-            # A message on a connector is delivered to the destination
-            # vertex without timestamp adjustment.
-            links.append(
-                (connector, connector.dst, PathSummary.identity(connector.depth))
-            )
-        for stage in self.stages:
-            action = stage.timestamp_action()
-            for outputs in stage.outputs:
-                for connector in outputs:
-                    # An event at a vertex may produce messages on its
-                    # outgoing connectors, adjusted by the stage's action.
-                    links.append((stage, connector, action))
-        return minimal_summaries(locations, links, depths)
-
     @property
-    def summaries(self) -> Dict[Tuple[object, object], Antichain]:
+    def summaries(self):
+        """The hierarchical :class:`repro.core.scope.SummaryIndex`.
+
+        Supports ``get((l1, l2))`` / ``(l1, l2) in`` / ``[...]`` exactly
+        like the old global dict of antichains.
+        """
         if self._summaries is None:
             raise GraphValidationError("freeze() the graph before using summaries")
         return self._summaries
+
+    @property
+    def summary_index(self):
+        """Alias of :attr:`summaries`, named for scope-aware callers."""
+        return self.summaries
 
     def input_stages(self) -> List[Stage]:
         return [stage for stage in self.stages if stage.kind is StageKind.INPUT]

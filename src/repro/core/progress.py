@@ -75,8 +75,21 @@ class ProgressState:
         #: count churn on existing pointstamps leaves it untouched, which
         #: is what makes the domination memo below effective.
         self.version = 0
-        #: pointstamp -> (frontier version, dominated?) memo.
-        self._dominated: Dict[Pointstamp, Tuple[int, bool]] = {}
+        #: The hierarchical index (None when built from a plain dict,
+        #: as unit tests do); enables per-scope version vectors.
+        self._index = summaries if hasattr(summaries, "version_plan") else None
+        #: Per-scope frontier version: bumped on any membership change
+        #: in that scope.
+        self._scope_exact: Dict[int, int] = {}
+        #: Per-scope *projected* frontier version: bumped only when the
+        #: set of boundary-projected frontier timestamps of that scope
+        #: changes.  Other scopes see this scope only through truncating
+        #: LCA summaries, so their verdicts depend on nothing finer —
+        #: steady-state inner-iteration churn leaves it untouched.
+        self._scope_proj: Dict[int, int] = {}
+        self._proj_refs: Dict[int, Dict[Timestamp, int]] = {}
+        #: pointstamp -> (version vector, dominated?) memo.
+        self._dominated: Dict[Pointstamp, Tuple[Tuple, bool]] = {}
 
     # ------------------------------------------------------------------
     # The could-result-in relation on pointstamps.
@@ -133,18 +146,18 @@ class ProgressState:
                 precursor[other] += 1
                 if other in frontier:
                     frontier.discard(other)
-                    self.version += 1
+                    self._note_membership(other, False)
         precursor[pointstamp] = count
         if count == 0:
             frontier.add(pointstamp)
-            self.version += 1
+            self._note_membership(pointstamp, True)
 
     def _deactivate(self, pointstamp: Pointstamp) -> None:
         del self.precursor[pointstamp]
         frontier = self._frontier
         if pointstamp in frontier:
             frontier.discard(pointstamp)
-            self.version += 1
+            self._note_membership(pointstamp, False)
         precursor = self.precursor
         cri = self.could_result_in
         for other in self.occurrence:
@@ -153,7 +166,38 @@ class ProgressState:
                 precursor[other] = remaining
                 if remaining == 0:
                     frontier.add(other)
-                    self.version += 1
+                    self._note_membership(other, True)
+
+    def _note_membership(self, pointstamp: Pointstamp, added: bool) -> None:
+        """A pointstamp entered or left the frontier: bump the global
+        version, its scope's exact version, and — when its boundary
+        projection (dis)appeared — the scope's projected version."""
+        self.version += 1
+        index = self._index
+        if index is None:
+            return
+        try:
+            scope = index.scope_of(pointstamp.location)
+        except KeyError:
+            return
+        sid = id(scope)
+        self._scope_exact[sid] = self._scope_exact.get(sid, 0) + 1
+        if scope is None:
+            return  # the root has no enclosing boundary to project to
+        projected = index.project(pointstamp.timestamp, scope)
+        refs = self._proj_refs.setdefault(sid, {})
+        if added:
+            previous = refs.get(projected, 0)
+            refs[projected] = previous + 1
+            if previous == 0:
+                self._scope_proj[sid] = self._scope_proj.get(sid, 0) + 1
+        else:
+            remaining = refs.get(projected, 0) - 1
+            if remaining <= 0:
+                refs.pop(projected, None)
+                self._scope_proj[sid] = self._scope_proj.get(sid, 0) + 1
+            else:
+                refs[projected] = remaining
 
     # ------------------------------------------------------------------
     # Frontier queries.
@@ -180,8 +224,9 @@ class ProgressState:
         delivery tests, accumulator hold conditions) ask about the same
         pointstamps repeatedly between frontier movements.
         """
+        vector = self.frontier_version_vector(pointstamp.location)
         cached = self._dominated.get(pointstamp)
-        if cached is not None and cached[0] == self.version:
+        if cached is not None and cached[0] == vector:
             return cached[1]
         cri = self.could_result_in
         result = any(
@@ -190,8 +235,28 @@ class ProgressState:
         )
         if len(self._dominated) > 100_000:
             self._dominated.clear()
-        self._dominated[pointstamp] = (self.version, result)
+        self._dominated[pointstamp] = (vector, result)
         return result
+
+    def frontier_version_vector(self, location) -> Tuple:
+        """The frontier versions a domination verdict at ``location``
+        depends on: exact versions for its scope chain, boundary-
+        projected versions for every other scope.  Equal vectors
+        guarantee an unchanged verdict; inner-iteration churn in
+        *other* scopes does not move the vector."""
+        index = self._index
+        if index is None:
+            return (self.version,)
+        try:
+            scope = index.scope_of(location)
+        except KeyError:
+            return (self.version,)
+        exact = self._scope_exact
+        projected = self._scope_proj
+        return tuple(
+            exact.get(id(s), 0) if is_exact else projected.get(id(s), 0)
+            for s, is_exact in index.version_plan(scope)
+        )
 
     def active_pointstamps(self) -> List[Pointstamp]:
         return list(self.occurrence)

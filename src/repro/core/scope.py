@@ -1,0 +1,477 @@
+"""Scoped, hierarchical could-result-in summaries (timely-dataflow
+scopes over the paper's section 2.3 machinery).
+
+Naiad computes one global path-summary table over every stage and
+connector — "the entire dataflow graph in a big pile".  This module
+partitions the graph into *scopes* (one per loop context, plus the root
+streaming context), computes a :func:`repro.core.pathsummary
+.minimal_summaries` table **per scope**, and resolves arbitrary
+could-result-in queries hierarchically:
+
+* Every location (stage or connector) belongs to exactly one scope: the
+  loop context of its *input* side.  A loop's ingress stage therefore
+  belongs to the parent scope while its egress and feedback stages
+  belong to the loop scope — exactly the boundary placement of
+  timely-dataflow's ``enter``/``leave`` operators.
+
+* Inside a scope's table, each child scope is collapsed to a single
+  :class:`ScopeNode` pseudo-location carrying parent-depth timestamps.
+  Interior paths of a child never change the parent-depth prefix of a
+  timestamp (feedback only increments counters at child depth or
+  deeper), so the child's *boundary summary* — ingress, any interior
+  path, egress, composed with :meth:`PathSummary.then` — is the
+  identity at parent depth; the collapse is exact, not approximate.
+
+* A query between two locations of the same scope uses that scope's
+  table at full counter precision.  A query across scopes lifts both
+  endpoints to their lowest common ancestor scope — each endpoint
+  replaced by the ``ScopeNode`` of the child subtree containing it —
+  and consults the ancestor's table.  The resulting summaries have
+  ``keep`` at ancestor depth, so applying them to full counter tuples
+  compares *truncated* coordinates (Python's lexicographic tuple order
+  makes a short candidate compare against the matching prefix), which
+  is precisely the projected, conservative verdict the hierarchy
+  promises: inner coordinates of other scopes are invisible, and only
+  boundary behaviour crosses scope lines.
+
+* Paths that leave a scope and later re-enter it (legal when the
+  re-entry is fed purely through a feedback stage) are not visible in
+  either endpoint scope's table.  For each child node we additionally
+  compute a *reentry* antichain — summaries of non-empty paths from the
+  node back to itself at the parent level — and merge it into same-node
+  queries at every ancestor level, so the hierarchical relation never
+  under-approximates the flat one.
+
+The public entry point is :func:`build_summary_index`, called by
+:meth:`DataflowGraph.freeze`; the returned :class:`SummaryIndex` keeps
+the mapping interface the old global dict exposed (``get`` /
+``in`` / ``[]``), so progress trackers and probes are unchanged
+consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .pathsummary import Antichain, PathSummary, minimal_summaries
+from .timestamp import Timestamp
+
+#: Scopes are keyed by their LoopContext; ``None`` is the root scope.
+ScopeKey = Optional["LoopContext"]  # noqa: F821 (graph imports us)
+
+
+def _scope_depth(scope: ScopeKey) -> int:
+    return 0 if scope is None else scope.depth
+
+
+class ScopeNode:
+    """A child scope collapsed to one location in its parent's table.
+
+    Pointstamps at a ``ScopeNode`` carry parent-depth timestamps: they
+    assert "work exists somewhere inside this scope at this projected
+    time".  The distributed protocol uses them as the boundary-summary
+    occupancy locations broadcast instead of interior pointstamps.
+    """
+
+    __slots__ = ("context", "name", "index", "depth")
+
+    def __init__(self, context, index: int):
+        self.context = context
+        self.name = "scope:%s" % context.name
+        #: Offset well past stage/connector indices so generic
+        #: (timestamp, location.index) tiebreaks stay collision-free.
+        self.index = 1_000_000 + index
+        #: Depth of the *parent* scope: the depth of timestamps carried
+        #: by pointstamps at this node.
+        self.depth = context.depth - 1
+
+    def __repr__(self) -> str:
+        return "ScopeNode(%s)" % self.context.name
+
+
+class SummarySet:
+    """A small set of path summaries of possibly *different* target
+    depths: full-precision same-scope entries next to truncating
+    ancestor-level entries.  :class:`Antichain` insists on homogeneous
+    depths (a useful invariant inside one table); merged hierarchical
+    query results relax it, pruning dominated elements only within the
+    same depth."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self):
+        self.elements: List[PathSummary] = []
+
+    def insert(self, candidate: PathSummary) -> bool:
+        depth = candidate.target_depth
+        for element in self.elements:
+            if element.target_depth == depth and element.less_equal(candidate):
+                return False
+        self.elements = [
+            element
+            for element in self.elements
+            if not (
+                element.target_depth == depth
+                and candidate.less_equal(element)
+            )
+        ]
+        self.elements.append(candidate)
+        return True
+
+    def dominates(self, t1: Timestamp, t2: Timestamp) -> bool:
+        return any(s.dominates(t1, t2) for s in self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __bool__(self) -> bool:
+        return bool(self.elements)
+
+    def __repr__(self) -> str:
+        return "SummarySet(%r)" % (self.elements,)
+
+
+def location_scope(location) -> ScopeKey:
+    """The scope owning ``location``'s pointstamps.
+
+    Stages belong to their input-side context (ingress stages to the
+    parent), connectors to their destination's input context, and
+    ``ScopeNode`` pseudo-locations to the collapsed scope's parent.
+    """
+    if isinstance(location, ScopeNode):
+        return location.context.parent
+    dst = getattr(location, "dst", None)
+    if dst is not None:  # a Connector
+        return dst.input_context
+    return location.input_context  # a Stage
+
+
+class SummaryIndex:
+    """Hierarchical could-result-in tables with the dict-like interface
+    of the old global summary table.
+
+    ``index.get((l1, l2))`` returns an :class:`Antichain` of path
+    summaries (possibly truncating — see module docstring) or ``None``;
+    ``(l1, l2) in index`` tests reachability.  Per-scope tables, scope
+    membership, boundary stages and the version-vector plan used by
+    progress-tracker memoization are exposed for the runtime layers.
+    """
+
+    def __init__(self, graph):
+        self.graph = graph
+        #: Root first, then every loop context in creation order.
+        self.scopes: Tuple[ScopeKey, ...] = (None,) + tuple(graph.contexts)
+        self._scope_pos = {id(s): i for i, s in enumerate(self.scopes)}
+        self._node_by_context: Dict[int, ScopeNode] = {}
+        for i, context in enumerate(graph.contexts):
+            self._node_by_context[id(context)] = ScopeNode(context, i)
+        #: location -> owning scope, for every stage and connector.
+        self._scope_of: Dict[int, ScopeKey] = {}
+        self._members: Dict[int, List[object]] = {id(s): [] for s in self.scopes}
+        for stage in graph.stages:
+            scope = stage.input_context
+            self._scope_of[id(stage)] = scope
+            self._members[id(scope)].append(stage)
+        for connector in graph.connectors:
+            scope = connector.dst.input_context
+            self._scope_of[id(connector)] = scope
+            self._members[id(connector.dst.input_context)].append(connector)
+        self._children: Dict[int, List] = {id(s): [] for s in self.scopes}
+        for context in graph.contexts:
+            self._children[id(context.parent)].append(context)
+        #: scope -> per-scope minimal-summary table (child scopes
+        #: collapsed to ScopeNodes).
+        self.tables: Dict[int, Dict[Tuple, Antichain]] = {}
+        #: scope -> {ScopeNode: antichain of non-empty self paths}.
+        self.reentry: Dict[int, Dict[ScopeNode, Antichain]] = {}
+        for scope in self.scopes:
+            self._build_scope_table(scope)
+        self._merged: Dict[Tuple, Optional[SummarySet]] = {}
+        self._version_plan: Dict[int, Tuple[Tuple[ScopeKey, bool], ...]] = {}
+        self._flat: Optional[Dict[Tuple, Antichain]] = None
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    def _build_scope_table(self, scope: ScopeKey) -> None:
+        depth = _scope_depth(scope)
+        members = self._members[id(scope)]
+        children = self._children[id(scope)]
+        child_nodes = [self._node_by_context[id(c)] for c in children]
+        locations: List[object] = list(members) + list(child_nodes)
+        depths = {location: depth for location in locations}
+        # Connectors and stages keep their true (uniform) depths; the
+        # assert below documents the invariant the partition guarantees.
+        links: List[Tuple[object, object, PathSummary]] = []
+        identity = PathSummary.identity(depth)
+        member_ids = {id(m) for m in members}
+        for location in members:
+            dst = getattr(location, "dst", None)
+            if dst is not None:
+                # Connector delivery: no timestamp adjustment.
+                links.append((location, dst, identity))
+                continue
+            stage = location
+            action = stage.timestamp_action()
+            for outputs in stage.outputs:
+                for connector in outputs:
+                    if id(connector) in member_ids:
+                        links.append((stage, connector, action))
+                        continue
+                    child = connector.dst.input_context
+                    if child is not None and child.parent is scope:
+                        # An ingress stage feeding a child scope:
+                        # entering never changes the parent-depth
+                        # prefix, so the collapsed node is reached
+                        # with the identity.
+                        links.append(
+                            (stage, self._node_by_context[id(child)], identity)
+                        )
+                    # Otherwise the connector exits upward (an egress
+                    # output): the stage is a sink at this level, and
+                    # the parent's table links its ScopeNode instead.
+        # Child egress outputs surface at this level as edges out of the
+        # collapsed node.  The interior segment (entry -> egress) is the
+        # identity at this depth — see the module docstring — so the
+        # boundary summary of the whole traversal is the identity too.
+        for child in children:
+            node = self._node_by_context[id(child)]
+            for stage in self._members[id(child)]:
+                if getattr(stage, "kind", None) is None:
+                    continue
+                if stage.kind.value != "egress":
+                    continue
+                for outputs in stage.outputs:
+                    for connector in outputs:
+                        if id(connector) in member_ids:
+                            links.append((node, connector, identity))
+        table = minimal_summaries(locations, links, depths)
+        self.tables[id(scope)] = table
+        # Non-empty self paths per child node: the node's out-links
+        # composed with any path back to it.
+        reentry: Dict[ScopeNode, Antichain] = {}
+        for node in child_nodes:
+            chain = Antichain()
+            for src, dst, summary in links:
+                if src is not node:
+                    continue
+                back = table.get((dst, node))
+                if not back:
+                    continue
+                for tail in back:
+                    chain.insert(summary.then(tail))
+            if chain:
+                reentry[node] = chain
+        self.reentry[id(scope)] = reentry
+
+    # ------------------------------------------------------------------
+    # Scope structure queries.
+    # ------------------------------------------------------------------
+
+    def scope_of(self, location) -> ScopeKey:
+        try:
+            return self._scope_of[id(location)]
+        except KeyError:
+            if isinstance(location, ScopeNode):
+                return location.context.parent
+            raise
+
+    def scope_chain(self, scope: ScopeKey) -> Tuple[ScopeKey, ...]:
+        chain = [scope]
+        while chain[-1] is not None:
+            chain.append(chain[-1].parent)
+        return tuple(chain)
+
+    def scope_node(self, context) -> ScopeNode:
+        return self._node_by_context[id(context)]
+
+    def children(self, scope: ScopeKey):
+        return tuple(self._children[id(scope)])
+
+    def members(self, scope: ScopeKey):
+        return tuple(self._members[id(scope)])
+
+    def table(self, scope: ScopeKey) -> Dict[Tuple, Antichain]:
+        return self.tables[id(scope)]
+
+    def subtree(self, scope: ScopeKey) -> Tuple[ScopeKey, ...]:
+        """``scope`` and every scope nested inside it."""
+        out = [scope]
+        stack = list(self._children[id(scope)])
+        while stack:
+            child = stack.pop()
+            out.append(child)
+            stack.extend(self._children[id(child)])
+        return tuple(out)
+
+    def boundary(self, scope) -> Dict[str, Tuple]:
+        """Ingress / egress / feedback stages of a loop scope.
+
+        Ingress stages live in the parent scope (their retirements are
+        parent-level protocol traffic); egress and feedback stages are
+        interior.  ``entry_connectors`` are the interior connectors fed
+        by the ingresses — the points where parent work enters.
+        """
+        ingress, egress, feedback, entries = [], [], [], []
+        for stage in self.graph.stages:
+            if stage.context is not scope:
+                continue
+            kind = stage.kind.value
+            if kind == "ingress":
+                ingress.append(stage)
+                for outputs in stage.outputs:
+                    entries.extend(outputs)
+            elif kind == "egress":
+                egress.append(stage)
+            elif kind == "feedback":
+                feedback.append(stage)
+        return {
+            "ingress_stages": tuple(ingress),
+            "egress_stages": tuple(egress),
+            "feedback_stages": tuple(feedback),
+            "entry_connectors": tuple(entries),
+        }
+
+    def project(self, timestamp: Timestamp, scope) -> Timestamp:
+        """Project a timestamp inside ``scope`` to its boundary (parent
+        depth): drop the loop coordinates ``scope`` and its descendants
+        introduced."""
+        keep = _scope_depth(scope) - 1
+        if len(timestamp.counters) <= keep:
+            return timestamp
+        return Timestamp(timestamp.epoch, timestamp.counters[:keep])
+
+    # ------------------------------------------------------------------
+    # Hierarchical could-result-in resolution.
+    # ------------------------------------------------------------------
+
+    def get(self, key, default=None):
+        try:
+            return self._merged[key]
+        except KeyError:
+            pass
+        entry = self._resolve(key[0], key[1])
+        if entry is not None and not entry:
+            entry = None
+        self._merged[key] = entry
+        return entry if entry is not None else default
+
+    def _resolve(self, l1, l2) -> Optional[SummarySet]:
+        s1 = self.scope_of(l1)
+        s2 = self.scope_of(l2)
+        result = SummarySet()
+        if s1 is s2:
+            base = self.tables[id(s1)].get((l1, l2))
+            if base:
+                for summary in base:
+                    result.insert(summary)
+            above = self.scope_chain(s1)
+        else:
+            chain1 = self.scope_chain(s1)
+            chain2 = self.scope_chain(s2)
+            pos2 = {id(s): i for i, s in enumerate(chain2)}
+            i1 = next(i for i, s in enumerate(chain1) if id(s) in pos2)
+            lca = chain1[i1]
+            a1 = l1 if i1 == 0 else self._node_by_context[id(chain1[i1 - 1])]
+            i2 = pos2[id(lca)]
+            a2 = l2 if i2 == 0 else self._node_by_context[id(chain2[i2 - 1])]
+            if a1 is a2:
+                # One endpoint is (work inside) the scope the other
+                # endpoint's node represents: conservatively, interior
+                # work at a projected time can reach anywhere interior
+                # at that projected time.
+                result.insert(PathSummary.identity(_scope_depth(lca)))
+                node_reentry = self.reentry[id(lca)].get(a1)
+                if node_reentry:
+                    for summary in node_reentry:
+                        result.insert(summary)
+            else:
+                base = self.tables[id(lca)].get((a1, a2))
+                if base:
+                    for summary in base:
+                        result.insert(summary)
+            above = chain1[i1:]
+        # Leave-and-re-enter paths at every strictly higher level: both
+        # endpoints lift into the same node there.
+        for i in range(1, len(above)):
+            level = above[i]
+            node = self._node_by_context.get(id(above[i - 1]))
+            if node is None:
+                continue
+            node_reentry = self.reentry[id(level)].get(node)
+            if node_reentry:
+                for summary in node_reentry:
+                    result.insert(summary)
+        return result if result else None
+
+    # Mapping interface expected by ProgressState and Probe.
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def __getitem__(self, key) -> SummarySet:
+        entry = self.get(key)
+        if entry is None:
+            raise KeyError(key)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Version-vector plan for frontier-verdict memoization.
+    # ------------------------------------------------------------------
+
+    def version_plan(self, scope: ScopeKey) -> Tuple[Tuple[ScopeKey, bool], ...]:
+        """Which scope versions a verdict for a pointstamp in ``scope``
+        depends on: ``(scope', exact)`` pairs, exact for ``scope`` and
+        its ancestors (their frontier elements are compared at full
+        precision), projected for every other scope (only their
+        boundary projection is visible through the LCA tables)."""
+        try:
+            return self._version_plan[id(scope)]
+        except KeyError:
+            pass
+        ancestors = {id(s) for s in self.scope_chain(scope)}
+        plan = tuple(
+            (other, id(other) in ancestors) for other in self.scopes
+        )
+        self._version_plan[id(scope)] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Flat (global single-table) view, kept for conformance testing.
+    # ------------------------------------------------------------------
+
+    def flat_table(self) -> Dict[Tuple, Antichain]:
+        """The paper's one-big-pile table, computed on demand.
+
+        The hierarchical resolution must never under-approximate this
+        relation; the conformance suite checks exactly that.
+        """
+        if self._flat is None:
+            graph = self.graph
+            locations: List[object] = list(graph.stages) + list(graph.connectors)
+            depths: Dict[object, int] = {}
+            for stage in graph.stages:
+                depths[stage] = stage.input_depth
+            for connector in graph.connectors:
+                depths[connector] = connector.depth
+            links: List[Tuple[object, object, PathSummary]] = []
+            for connector in graph.connectors:
+                links.append(
+                    (connector, connector.dst, PathSummary.identity(connector.depth))
+                )
+            for stage in graph.stages:
+                action = stage.timestamp_action()
+                for outputs in stage.outputs:
+                    for connector in outputs:
+                        links.append((stage, connector, action))
+            self._flat = minimal_summaries(locations, links, depths)
+        return self._flat
+
+
+def build_summary_index(graph) -> SummaryIndex:
+    """Partition ``graph`` into scopes and build the per-scope tables."""
+    return SummaryIndex(graph)

@@ -56,6 +56,15 @@ class Vertex:
     #: side-effect driver-side objects (subscriptions, probes).
     coordinator_only = False
 
+    #: False declares that instances never call :meth:`notify_at` with a
+    #: capability.  A loop scope whose stages all opt out this way can be
+    #: *summarized* by the distributed runtime: its interior pointstamp
+    #: churn stays scope-local and only boundary projections are
+    #: broadcast (see ``runtime.cluster``).  Leave True when in doubt —
+    #: a notifying vertex inside a summarized scope is rejected at
+    #: ``notify_at`` time with a :class:`TimestampViolation`.
+    notifies = True
+
     def __init__(self):
         self.stage = None
         self.worker: int = 0
@@ -175,6 +184,8 @@ class ForwardingVertex(Vertex):
     dropping messages whose innermost loop counter has reached
     ``max_iterations``, which is how bounded loops terminate cleanly.
     """
+
+    notifies = False
 
     def __init__(self, max_iterations: Optional[int] = None):
         super().__init__()

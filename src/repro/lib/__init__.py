@@ -16,11 +16,20 @@ from .allreduce import allreduce, tree_allreduce
 from .bloom import async_distinct, async_join, monotonic_aggregate, transitive_closure
 from .incremental import Collection, consolidate_diffs
 from .pregel import NodeContext, final_states, pregel
-from .stream import Loop, Probe, Stream, hash_partitioner
+from .stream import (
+    FeedbackEdge,
+    Loop,
+    LoopScope,
+    Probe,
+    Stream,
+    hash_partitioner,
+)
 
 __all__ = [
     "Collection",
+    "FeedbackEdge",
     "Loop",
+    "LoopScope",
     "NodeContext",
     "Probe",
     "Stream",

@@ -37,6 +37,8 @@ class AsyncDistinctVertex(Vertex):
     monotonically growing database.
     """
 
+    notifies = False
+
     def __init__(self):
         super().__init__()
         self.seen = set()
@@ -61,6 +63,7 @@ class AsyncJoinVertex(Vertex):
     backwards-in-time rule without any coordination.
     """
 
+    notifies = False
     _CONFIG_ATTRS = ("left_key", "right_key", "result")
 
     def __init__(
@@ -105,6 +108,7 @@ class MonotonicAggregateVertex(Vertex):
     cost of multiple messages before the final value.
     """
 
+    notifies = False
     _CONFIG_ATTRS = ("key", "value", "better")
 
     def __init__(

@@ -26,6 +26,7 @@ from ..core.vertex import Vertex
 class SelectVertex(Vertex):
     """Stateless 1:1 transformation; forwards immediately (no coordination)."""
 
+    notifies = False
     _CONFIG_ATTRS = ("function",)
 
     def __init__(self, function: Callable[[Any], Any]):
@@ -40,6 +41,7 @@ class SelectVertex(Vertex):
 class WhereVertex(Vertex):
     """Stateless filter; forwards immediately."""
 
+    notifies = False
     _CONFIG_ATTRS = ("predicate",)
 
     def __init__(self, predicate: Callable[[Any], bool]):
@@ -56,6 +58,7 @@ class WhereVertex(Vertex):
 class SelectManyVertex(Vertex):
     """Stateless 1:N transformation (flat map); forwards immediately."""
 
+    notifies = False
     _CONFIG_ATTRS = ("function",)
 
     def __init__(self, function: Callable[[Any], Iterable[Any]]):
@@ -73,6 +76,8 @@ class SelectManyVertex(Vertex):
 
 class ConcatVertex(Vertex):
     """Merge two streams; forwards immediately from both inputs."""
+
+    notifies = False
 
     def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
         self.send_by(0, records, timestamp)
@@ -332,6 +337,7 @@ class ProbeVertex(Vertex):
     """Absorbs records; exists so a probe has a graph location."""
 
     coordinator_only = True
+    notifies = False
 
     def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
         pass
@@ -341,6 +347,7 @@ class InspectVertex(Vertex):
     """Pass-through that calls ``probe(timestamp, records)`` per batch."""
 
     coordinator_only = True
+    notifies = False
     _CONFIG_ATTRS = ("probe",)
 
     def __init__(self, probe: Callable[[Timestamp, List[Any]], None]):

@@ -35,7 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
-from .stream import Loop, Stream, hash_partitioner
+from .stream import Stream, hash_partitioner
 
 
 class NodeContext:
@@ -249,46 +249,40 @@ def pregel(
     :func:`final_states` reduces to the authoritative value per node.
     """
     computation = graph_stream.computation
-    loop = Loop(
-        computation,
-        parent=graph_stream.context,
-        max_iterations=max_supersteps,
-        name=name,
-    )
     num_outputs = 3 if aggregator is not None else 2
     num_inputs = 3 if aggregator is not None else 2
-    stage = computation.graph.new_stage(
-        name,
-        lambda s, w: PregelVertex(compute, max_supersteps, combine, aggregator),
-        num_inputs,
-        num_outputs,
-        context=loop.context,
-    )
-    entered = graph_stream.enter(loop)
-    entered.connect_to(stage, 0, partitioner=hash_partitioner(lambda rec: rec[0]))
-    # Messages: body output 0 -> feedback -> input 1, routed by target.
-    Stream(computation, stage, 0).connect_to(loop._feedback, 0)
-    loop._feedback_connected = True
-    loop.feedback_stream().connect_to(
-        stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
-    )
-    if aggregator is not None:
-        agg_stage = computation.graph.new_stage(
-            "%s.aggregate" % name,
-            lambda s, w: _AggregatorVertex(aggregator),
-            1,
-            1,
-            context=loop.context,
+    with graph_stream.scoped_loop(name=name, max_iterations=max_supersteps) as loop:
+        stage = loop.stage(
+            name,
+            lambda s, w: PregelVertex(compute, max_supersteps, combine, aggregator),
+            num_inputs,
+            num_outputs,
         )
-        Stream(computation, stage, 2).connect_to(
-            agg_stage, 0, partitioner=lambda rec: 0
+        loop.entered.connect_to(
+            stage, 0, partitioner=hash_partitioner(lambda rec: rec[0])
         )
-        agg_feedback = computation.add_feedback(loop.context, max_supersteps)
-        Stream(computation, agg_stage, 0).connect_to(agg_feedback, 0)
-        Stream(computation, agg_feedback, 0).connect_to(
-            stage, 2, partitioner=lambda rec: rec[0]
+        # Messages: body output 0 -> feedback -> input 1, routed by target.
+        loop.feed(Stream(computation, stage, 0))
+        loop.feedback.connect_to(
+            stage, 1, partitioner=hash_partitioner(lambda rec: rec[0])
         )
-    return Stream(computation, stage, 1).leave()
+        if aggregator is not None:
+            agg_stage = loop.stage(
+                "%s.aggregate" % name,
+                lambda s, w: _AggregatorVertex(aggregator),
+                1,
+                1,
+            )
+            Stream(computation, stage, 2).connect_to(
+                agg_stage, 0, partitioner=lambda rec: 0
+            )
+            agg_feedback = loop.feedback_edge(max_supersteps)
+            agg_feedback.feed(Stream(computation, agg_stage, 0))
+            agg_feedback.stream.connect_to(
+                stage, 2, partitioner=lambda rec: rec[0]
+            )
+        out = loop.leave_with(Stream(computation, stage, 1))
+    return out
 
 
 def final_states(states: Stream, name: str = "pregel_final") -> Stream:

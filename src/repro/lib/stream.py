@@ -21,10 +21,16 @@ data-parallel on the distributed runtime without modification
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Iterable, List, Optional
 
 from ..core.computation import Computation, InputHandle
-from ..core.graph import LoopContext, Stage
+from ..core.graph import (
+    FeedbackNotConnectedError,
+    GraphValidationError,
+    LoopContext,
+    Stage,
+)
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
 from ..opt.plan import HashPartitioner, OpSpec
@@ -388,16 +394,66 @@ class Stream:
     # Loops (section 4.3).
     # ------------------------------------------------------------------
 
+    def scoped_loop(
+        self,
+        name: str = "loop",
+        max_iterations: Optional[int] = None,
+    ) -> "LoopScope":
+        """Open a loop scope with this stream as its primary input.
+
+        Use as a context manager: on ``__enter__`` the stream is passed
+        through an ingress into the new scope (available as
+        ``loop.entered``); the block wires the body, feeds the cycle and
+        takes results out::
+
+            with edges.scoped_loop(name="cc", max_iterations=64) as loop:
+                merged = loop.entered.concat(loop.feedback)
+                result = body(merged)
+                loop.feed(result, partitioner=part)
+                labels = loop.leave_with(result)
+
+        Validation is eager: ``__exit__`` raises
+        :class:`repro.core.graph.FeedbackNotConnectedError` when the
+        cycle was never fed, connecting across the boundary without an
+        ingress/egress raises ``CrossScopeConnectError``, and freezing
+        the graph inside the with-block raises ``UnclosedScopeError``.
+        """
+        return LoopScope(
+            self.computation,
+            parent=self.context,
+            max_iterations=max_iterations,
+            name=name,
+            anchor=self,
+        )
+
     def enter(self, loop: "Loop") -> "Stream":
-        """Bring this stream into a loop context through an ingress stage."""
-        ingress = self.computation.add_ingress(loop.context)
+        """Deprecated: use :meth:`scoped_loop` / ``loop.enter(stream)``."""
+        warnings.warn(
+            "Stream.enter(loop) is deprecated; build loops with "
+            "stream.scoped_loop(...) or computation.scope(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._enter_scope(loop.context)
+
+    def leave(self) -> "Stream":
+        """Deprecated: use ``loop.leave_with(stream)`` on the scope."""
+        warnings.warn(
+            "Stream.leave() is deprecated; take streams out of a scope "
+            "with loop.leave_with(stream)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._leave_scope()
+
+    def _enter_scope(self, context: LoopContext) -> "Stream":
+        ingress = self.computation.add_ingress(context)
         self.connect_to(ingress, 0)
         return Stream(self.computation, ingress, 0)
 
-    def leave(self) -> "Stream":
-        """Take this stream out of its loop context through an egress stage."""
+    def _leave_scope(self) -> "Stream":
         if self.context is None:
-            raise ValueError("stream is not inside a loop context")
+            raise GraphValidationError("stream is not inside a loop context")
         egress = self.computation.add_egress(self.context)
         self.connect_to(egress, 0)
         return Stream(self.computation, egress, 0)
@@ -409,7 +465,7 @@ class Stream:
         partitioner: Optional[Callable[[Any], int]] = None,
         name: str = "iterate",
     ) -> "Stream":
-        """Run ``body`` to fixed point inside a new loop context.
+        """Run ``body`` to fixed point inside a new loop scope.
 
         ``body`` receives the concatenation of this stream (entered into
         the loop) and the feedback stream, and returns the stream to feed
@@ -417,14 +473,12 @@ class Stream:
         after ``max_iterations``).  Returns the body output, taken out of
         the loop through an egress.
         """
-        loop = Loop(
-            self.computation, parent=self.context, max_iterations=max_iterations, name=name
-        )
-        entered = self.enter(loop)
-        merged = entered.concat(loop.feedback_stream())
-        result = body(merged)
-        loop.connect_feedback(result, partitioner=partitioner)
-        return result.leave()
+        with self.scoped_loop(name=name, max_iterations=max_iterations) as loop:
+            merged = loop.entered.concat(loop.feedback)
+            result = body(merged)
+            loop.feed(result, partitioner=partitioner)
+            out = loop.leave_with(result)
+        return out
 
     def __repr__(self) -> str:
         return "Stream(%s[%d])" % (self.stage.name, self.port)
@@ -468,12 +522,165 @@ class Probe:
         return first is None or first > epoch
 
 
-class Loop:
-    """A loop context plus its feedback stage (created eagerly).
+class FeedbackEdge:
+    """One feedback stage of a loop scope, wired output-first.
 
-    The feedback stage's output is available before its input is
-    connected — the one place the graph may be wired output-first
-    (section 4.3) — enabling cyclic topologies.
+    The stage's output (``edge.stream``, iteration i+1's input) is
+    available before its input is connected (``edge.feed``) — the one
+    place the graph may be wired output-first (section 4.3) — enabling
+    cyclic topologies.
+    """
+
+    __slots__ = ("computation", "stage", "connected")
+
+    def __init__(self, computation: Computation, stage: Stage):
+        self.computation = computation
+        self.stage = stage
+        self.connected = False
+
+    @property
+    def stream(self) -> Stream:
+        """The feedback stage's output (iteration i+1's input)."""
+        return Stream(self.computation, self.stage, 0)
+
+    def feed(
+        self, stream: Stream, partitioner: Optional[Callable[[Any], int]] = None
+    ) -> None:
+        """Close the cycle: feed ``stream`` into this feedback stage."""
+        if self.connected:
+            raise GraphValidationError(
+                "feedback input of %r is already connected" % self.stage.name
+            )
+        stream.connect_to(self.stage, 0, partitioner)
+        self.connected = True
+
+
+class LoopScope:
+    """Context-manager handle for building one loop scope (section 4.3).
+
+    Created by :meth:`Stream.scoped_loop` (anchored on a stream) or
+    :meth:`repro.core.computation.Computation.scope` (free-standing).
+    Inside the with-block the handle offers:
+
+    - ``entered`` — the anchor stream brought through the ingress
+      (``scoped_loop`` only);
+    - ``enter(stream)`` — bring a further parent-scope stream in;
+    - ``feedback`` / ``feed(stream, partitioner)`` — the primary
+      feedback cycle;
+    - ``feedback_edge(max_iterations)`` — additional feedback stages
+      for multi-cycle bodies;
+    - ``leave_with(stream)`` — take a body stream out through an
+      egress (also remembered as ``output``);
+    - ``stage(...)`` — declare a raw vertex stage inside the scope.
+
+    ``__exit__`` validates eagerly: every feedback edge must have been
+    fed, else :class:`repro.core.graph.FeedbackNotConnectedError`.
+    """
+
+    def __init__(
+        self,
+        computation: Computation,
+        parent: Optional[LoopContext] = None,
+        max_iterations: Optional[int] = None,
+        name: str = "loop",
+        anchor: Optional[Stream] = None,
+    ):
+        self.computation = computation
+        self.context = computation.new_loop_context(parent, name)
+        self._parent = parent
+        self._anchor = anchor
+        self._primary = FeedbackEdge(
+            computation, computation.add_feedback(self.context, max_iterations)
+        )
+        self._edges: List[FeedbackEdge] = [self._primary]
+        #: The anchor stream inside the scope (set at ``__enter__``).
+        self.entered: Optional[Stream] = None
+        #: The last ``leave_with`` result (None until one is taken).
+        self.output: Optional[Stream] = None
+
+    # -- context manager protocol --------------------------------------
+
+    def __enter__(self) -> "LoopScope":
+        self.computation.graph.open_scopes.append(self)
+        if self._anchor is not None:
+            self.entered = self._anchor._enter_scope(self.context)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        open_scopes = self.computation.graph.open_scopes
+        if self in open_scopes:
+            open_scopes.remove(self)
+        if exc_type is not None:
+            return False  # don't mask the body's exception
+        unfed = sum(1 for edge in self._edges if not edge.connected)
+        if unfed:
+            raise FeedbackNotConnectedError(self.context.name, unfed)
+        return False
+
+    # -- building inside the scope -------------------------------------
+
+    @property
+    def feedback(self) -> Stream:
+        """The primary feedback stream (iteration i+1's input)."""
+        return self._primary.stream
+
+    def feed(
+        self, stream: Stream, partitioner: Optional[Callable[[Any], int]] = None
+    ) -> None:
+        """Close the primary cycle with ``stream`` (inside the scope)."""
+        self._primary.feed(stream, partitioner)
+
+    def feedback_edge(
+        self, max_iterations: Optional[int] = None
+    ) -> FeedbackEdge:
+        """An additional feedback stage for multi-cycle loop bodies."""
+        edge = FeedbackEdge(
+            self.computation,
+            self.computation.add_feedback(self.context, max_iterations),
+        )
+        self._edges.append(edge)
+        return edge
+
+    def enter(self, stream: Stream) -> Stream:
+        """Bring a parent-scope stream in through a new ingress."""
+        return stream._enter_scope(self.context)
+
+    def leave_with(self, stream: Stream) -> Stream:
+        """Take a scope-interior stream out through a new egress."""
+        if stream.context is not self.context:
+            raise GraphValidationError(
+                "leave_with() expects a stream inside scope %r (got one in %r)"
+                % (self.context.name, getattr(stream.context, "name", None))
+            )
+        self.output = stream._leave_scope()
+        return self.output
+
+    def stage(
+        self,
+        name: str,
+        factory: Callable[[Stage, int], Vertex],
+        num_inputs: int = 1,
+        num_outputs: int = 1,
+    ) -> Stage:
+        """Declare a raw vertex stage inside this scope.
+
+        ``factory(stage, worker_index)`` builds the vertex, matching
+        :meth:`repro.core.graph.DataflowGraph.new_stage`.
+        """
+        return self.computation.graph.new_stage(
+            name, factory, num_inputs, num_outputs, context=self.context
+        )
+
+    def __repr__(self) -> str:
+        return "LoopScope(%r)" % self.context.name
+
+
+class Loop:
+    """Deprecated loop handle (use :class:`LoopScope` via
+    ``stream.scoped_loop`` / ``computation.scope``).
+
+    Kept as a shim for existing programs: constructing one emits a
+    :class:`DeprecationWarning` but behaves exactly as before.
     """
 
     def __init__(
@@ -483,6 +690,12 @@ class Loop:
         max_iterations: Optional[int] = None,
         name: str = "loop",
     ):
+        warnings.warn(
+            "Loop(...) is deprecated; build loops with "
+            "stream.scoped_loop(...) or computation.scope(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.computation = computation
         self.context = computation.new_loop_context(parent, name)
         self._feedback = computation.add_feedback(self.context, max_iterations)

@@ -101,6 +101,9 @@ class FusedVertex(Vertex):
             raise ValueError("a fused vertex needs at least one constituent")
         self.parts = list(parts)
         self.names = tuple(names)
+        self.notifies = any(
+            getattr(part, "notifies", True) for part in self.parts
+        )
         self._chain = _ChainHarness(self, self.parts)
         for part in self.parts:
             part._harness = self._chain

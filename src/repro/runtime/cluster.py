@@ -232,6 +232,17 @@ class _Worker:
                 )
         pointstamp = Pointstamp(timestamp, vertex.stage)
         if capability:
+            if vertex.stage in self.cluster._proj_table:
+                raise TimestampViolation(
+                    "notify_at(%r) with a capability on stage %r, which "
+                    "lives inside a summarized loop scope: its vertex "
+                    "class declares notifies=False, so interior "
+                    "pointstamps are never disseminated and the "
+                    "notification could not be coordinated. Set "
+                    "notifies=True on the vertex class, or build the "
+                    "cluster with progress_tracking='flat'"
+                    % (timestamp, vertex.stage.name)
+                )
             self._updates.append((pointstamp, +1))
             self.pending_notifications[pointstamp] = (
                 self.pending_notifications.get(pointstamp, 0) + 1
@@ -267,6 +278,8 @@ class _Worker:
             # the message is post-cut, or channel-log it if pre-cut.
             ac.on_delivery(self, connector, records, timestamp, remote_bytes, src, tag, key)
         self.queue.append((connector, records, timestamp, remote_bytes, tag))
+        if self.cluster._proj_table:
+            self.cluster._note_scope_enqueue(connector, timestamp, self.process)
         trace = self.cluster._trace
         if trace is not None:
             now = self.cluster.sim.now
@@ -376,6 +389,10 @@ class _Worker:
                         self.cluster.coalesced_batches += 1
                     if merged is not None:
                         records = merged
+            if self.cluster._proj_table:
+                self.cluster._note_scope_dequeue(
+                    connector, timestamp, self.process, batches
+                )
             return ("recv", connector, records, timestamp, remote_bytes, batches)
         pointstamp = self._deliverable_notification()
         if pointstamp is not None:
@@ -416,6 +433,13 @@ class _Worker:
                 _, timestamp, capability = effect
                 pointstamp = Pointstamp(timestamp, stage)
                 if capability:
+                    if stage in self.cluster._proj_table:
+                        raise TimestampViolation(
+                            "notify_at(%r) with a capability on stage %r "
+                            "inside a summarized loop scope (see "
+                            "Vertex.notifies / progress_tracking='flat')"
+                            % (timestamp, stage.name)
+                        )
                     self._updates.append((pointstamp, +1))
                     self.pending_notifications[pointstamp] = (
                         self.pending_notifications.get(pointstamp, 0) + 1
@@ -627,6 +651,8 @@ class _Worker:
                         w.enqueue_message(c, b, t, s, i, n, g, k)
                     ),
                 )
+        if cluster._proj_table:
+            updates = cluster._project_updates(updates)
         cluster.nodes[self.process].submit(updates)
         if ac is not None and self._cut_deferred:
             ac.commit_hook(self)
@@ -662,11 +688,31 @@ class ClusterComputation(Computation):
         backend: Optional[str] = None,
         pool_workers: Optional[int] = None,
         optimize: Optional[Any] = None,
+        progress_tracking: str = "scoped",
+        progress_batch_interval: float = 250e-6,
     ):
         super().__init__(optimize=optimize)
         if scheduling not in ("fifo", "earliest"):
             raise ValueError("scheduling must be 'fifo' or 'earliest'")
         self.scheduling = scheduling
+        if progress_tracking not in ("scoped", "flat"):
+            raise ValueError(
+                "progress_tracking must be 'scoped' or 'flat' (got %r)"
+                % (progress_tracking,)
+            )
+        # "scoped" (the default) disseminates only boundary projections
+        # for loop scopes whose vertices all declare notifies=False;
+        # "flat" broadcasts every interior pointstamp (the paper's
+        # one-big-pile protocol), kept for conformance testing.
+        self.progress_tracking = progress_tracking
+        # Accumulation interval for unholdable boundary deltas under
+        # scoped tracking: rather than one dissemination per callback,
+        # an endpoint flushes at most once per interval (Naiad batches
+        # progress updates the same way; §6 measures the resulting
+        # coordination rounds at a few hundred microseconds).  Zero
+        # disables batching.  Only summarized scopes are affected —
+        # flat tracking and scope-free graphs never defer.
+        self.progress_batch_interval = progress_batch_interval
         # Execution backend: "inline" runs vertex callbacks on the DES
         # thread; "mp" runs them in a persistent fork pool with
         # bit-identical virtual-time results (see repro.parallel).
@@ -716,6 +762,23 @@ class ClusterComputation(Computation):
         self.views: List[ProgressView] = []
         self.nodes: List[ProtocolNode] = []
         self.central: Optional[CentralAccumulator] = None
+        #: Loop contexts whose interior progress is summarized (build()).
+        self.summarized_scopes: Tuple = ()
+        #: location -> ScopeNode of its outermost summarized enclosing
+        #: scope; empty under flat tracking (every hot-path hook is then
+        #: a single truthiness test).
+        self._proj_table: Dict[Any, Any] = {}
+        #: Pointstamp -> projected Pointstamp memo for _project_updates.
+        self._proj_cache: Dict[Pointstamp, Pointstamp] = {}
+        #: (process, ScopeNode, projected time) -> interior deliveries
+        #: queued on that process; the per-node boundary hold test.
+        self._scope_pending: Dict[Tuple, int] = {}
+        #: (ScopeNode, projected time) -> cluster-wide queued interior
+        #: deliveries; the central accumulator's hold test.
+        self._scope_pending_total: Dict[Tuple, int] = {}
+        #: Deferred-flush scheduler shared by all protocol endpoints
+        #: (None until scoped tracking configures batching).
+        self._defer_flush: Optional[Callable[[Callable[[], None]], None]] = None
         self.workers: List[_Worker] = []
         self.vertices: Dict[Tuple[Stage, int], Vertex] = {}
         self._stage_costs: Dict[Stage, float] = {}
@@ -877,6 +940,8 @@ class ClusterComputation(Computation):
                 vertex.worker = index
                 vertex._harness = worker
                 self.vertices[(stage, index)] = vertex
+        if self.progress_tracking == "scoped":
+            self._configure_scoped_tracking()
         self.views[0].listeners.append(self._trace_cluster_frontier)
         initial = [
             (Pointstamp(Timestamp(0), handle.stage), +1) for handle in self.inputs
@@ -893,6 +958,163 @@ class ClusterComputation(Computation):
 
             self.async_ckpt = AsyncCheckpointManager(self)
         self._built = True
+
+    # ------------------------------------------------------------------
+    # Scoped progress tracking: boundary-summary dissemination.
+    # ------------------------------------------------------------------
+
+    def _configure_scoped_tracking(self) -> None:
+        """Choose summarized scopes and install the projection tables.
+
+        A loop scope qualifies when every stage in its subtree is built
+        from non-notifying vertices (:attr:`Vertex.notifies` False):
+        interior work then never needs a cluster-wide notification
+        frontier, so interior pointstamps are projected onto the scope's
+        boundary :class:`ScopeNode` (inner loop coordinates dropped)
+        before dissemination, and inner-iteration churn nets away inside
+        the accumulators instead of crossing the network.  The outermost
+        qualifying ancestor absorbs its whole nest.
+        """
+        index = self.graph.summary_index
+        summarized: set = set()
+        for scope in index.scopes:
+            if scope is None:
+                continue  # the root streaming context has no boundary
+            qualifies = True
+            for inner in index.subtree(scope):
+                for member in index.members(inner):
+                    if getattr(member, "kind", None) is None:
+                        continue  # a connector
+                    vertex = self.vertices.get((member, 0))
+                    if vertex is None or getattr(vertex, "notifies", True):
+                        qualifies = False
+                        break
+                if not qualifies:
+                    break
+            if qualifies:
+                summarized.add(id(scope))
+        self.summarized_scopes = tuple(
+            scope for scope in index.scopes if id(scope) in summarized
+        )
+        if not summarized:
+            return
+        table = self._proj_table
+        for scope in index.scopes:
+            if scope is None:
+                continue
+            # scope_chain runs innermost -> root; scan from the top so
+            # the outermost summarized ancestor owns the projection.
+            owner = None
+            for ancestor in reversed(index.scope_chain(scope)[:-1]):
+                if id(ancestor) in summarized:
+                    owner = ancestor
+                    break
+            if owner is None:
+                continue
+            node = index.scope_node(owner)
+            for member in index.members(scope):
+                table[member] = node
+        for node_ in self.nodes:
+            node_.scope_pending = self._node_scope_pending(node_.process)
+        if self.central is not None:
+            self.central.scope_pending = self._central_scope_pending
+        if self.progress_batch_interval > 0:
+            interval = self.progress_batch_interval
+
+            def defer(thunk: Callable[[], None]) -> None:
+                self.sim.schedule(interval, thunk)
+
+            self._defer_flush = defer
+            for node_ in self.nodes:
+                node_.defer_flush = defer
+            if self.central is not None:
+                self.central.defer_flush = defer
+
+    def _node_scope_pending(self, process: int) -> Callable[[Pointstamp], bool]:
+        pending = self._scope_pending
+
+        def scope_pending(pointstamp: Pointstamp) -> bool:
+            return (
+                pending.get(
+                    (process, pointstamp.location, pointstamp.timestamp), 0
+                )
+                > 0
+            )
+
+        return scope_pending
+
+    def _central_scope_pending(self, pointstamp: Pointstamp) -> bool:
+        return (
+            self._scope_pending_total.get(
+                (pointstamp.location, pointstamp.timestamp), 0
+            )
+            > 0
+        )
+
+    def _project_updates(
+        self, updates: List[Tuple[Pointstamp, int]]
+    ) -> List[Tuple[Pointstamp, int]]:
+        """Replace interior pointstamps of summarized scopes with their
+        boundary projection.  Idempotent — ScopeNode locations are never
+        projection keys — so already-projected batches pass through."""
+        table = self._proj_table
+        if not table:
+            return updates
+        cache = self._proj_cache
+        out: List[Tuple[Pointstamp, int]] = []
+        for pointstamp, delta in updates:
+            node = table.get(pointstamp.location)
+            if node is not None:
+                projected = cache.get(pointstamp)
+                if projected is None:
+                    t = pointstamp.timestamp
+                    projected = Pointstamp(
+                        Timestamp(t.epoch, t.counters[: node.depth]), node
+                    )
+                    if len(cache) > 100_000:
+                        cache.clear()
+                    cache[pointstamp] = projected
+                pointstamp = projected
+            out.append((pointstamp, delta))
+        return out
+
+    def _note_scope_enqueue(
+        self, connector: Connector, timestamp: Timestamp, process: int
+    ) -> None:
+        node = self._proj_table.get(connector)
+        if node is None:
+            return
+        t = Timestamp(timestamp.epoch, timestamp.counters[: node.depth])
+        key = (process, node, t)
+        self._scope_pending[key] = self._scope_pending.get(key, 0) + 1
+        total_key = (node, t)
+        self._scope_pending_total[total_key] = (
+            self._scope_pending_total.get(total_key, 0) + 1
+        )
+
+    def _note_scope_dequeue(
+        self,
+        connector: Connector,
+        timestamp: Timestamp,
+        process: int,
+        count: int = 1,
+    ) -> None:
+        node = self._proj_table.get(connector)
+        if node is None:
+            return
+        t = Timestamp(timestamp.epoch, timestamp.counters[: node.depth])
+        key = (process, node, t)
+        remaining = self._scope_pending.get(key, 0) - count
+        if remaining > 0:
+            self._scope_pending[key] = remaining
+        else:
+            self._scope_pending.pop(key, None)
+        total_key = (node, t)
+        remaining = self._scope_pending_total.get(total_key, 0) - count
+        if remaining > 0:
+            self._scope_pending_total[total_key] = remaining
+        else:
+            self._scope_pending_total.pop(total_key, None)
 
     def _wrap_external_outputs(self) -> None:
         """Make subscriber callbacks exactly-once across replays."""
@@ -1586,6 +1808,9 @@ class ClusterComputation(Computation):
             members=self.live_processes,
             mirror=True,
         )
+        if self._proj_table:
+            node.scope_pending = self._node_scope_pending(process)
+            node.defer_flush = self._defer_flush
         self.nodes.append(node)
         for peer in self.nodes:
             peer.num_processes = self.num_processes
@@ -1741,6 +1966,10 @@ class ClusterComputation(Computation):
         """
         for worker in self.workers:
             worker.dead = True
+        # Every queue dies with its worker; re-injected deliveries pass
+        # through enqueue_message and re-increment the pending tables.
+        self._scope_pending.clear()
+        self._scope_pending_total.clear()
         self.workers = [_Worker(self, index) for index in range(self.total_workers)]
         for worker in self.workers:
             worker.busy_until = busy_until
@@ -1763,6 +1992,13 @@ class ClusterComputation(Computation):
         replacements take their place, idle until ``busy_until``.
         """
         replaced = set(indices)
+        if self._proj_table:
+            # The dying workers' queued interior deliveries vanish;
+            # their re-injections re-increment through enqueue_message.
+            for index in indices:
+                worker = self.workers[index]
+                for entry in worker.queue:
+                    self._note_scope_dequeue(entry[0], entry[2], worker.process)
         for index in indices:
             self.workers[index].dead = True
             self.workers[index] = _Worker(self, index)
@@ -1793,6 +2029,13 @@ class ClusterComputation(Computation):
         if self.central is not None:
             self.central.reset()
         occurrence = snapshot["occurrence"]
+        if self._proj_table:
+            # Async snapshots assemble occurrence in interior coordinates;
+            # barrier snapshots copy already-projected views.  Projection
+            # is idempotent, so one site restores both.
+            occurrence = dict(
+                net_updates(self._project_updates(list(occurrence.items())))
+            )
         for view in self._unique_views():
             view.reset(occurrence)
         if self.async_ckpt is not None:

@@ -87,14 +87,15 @@ class TestAsyncJoin:
         assert times == [1]  # lub(epoch 0, epoch 1)
 
     def test_context_mismatch_rejected(self):
-        from repro.lib import Loop
-
         comp = Computation()
         a = Stream.from_input(comp.new_input())
         b = Stream.from_input(comp.new_input())
-        entered = a.enter(Loop(comp))
-        with pytest.raises(ValueError):
-            async_join(entered, b, lambda x: x, lambda y: y, lambda x, y: x)
+        with a.scoped_loop() as loop:
+            loop.feed(loop.entered)
+            with pytest.raises(ValueError):
+                async_join(
+                    loop.entered, b, lambda x: x, lambda y: y, lambda x, y: x
+                )
 
 
 class TestTransitiveClosure:

@@ -89,15 +89,17 @@ class TestRandomProgramEquivalence:
         epoch_inputs,
         st.sampled_from([(1, 2), (2, 2), (3, 1), (2, 3)]),
         st.sampled_from(["none", "local", "global", "local+global"]),
+        st.sampled_from(["scoped", "flat"]),
     )
     @settings(max_examples=25, deadline=None)
-    def test_cluster_matches_reference(self, names, epochs, shape, mode):
+    def test_cluster_matches_reference(self, names, epochs, shape, mode, tracking):
         expected = run_program(Computation(), names, epochs)
         actual = run_program(
             ClusterComputation(
                 num_processes=shape[0],
                 workers_per_process=shape[1],
                 progress_mode=mode,
+                progress_tracking=tracking,
             ),
             names,
             epochs,

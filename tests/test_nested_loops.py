@@ -116,9 +116,43 @@ class TestNestedSummaries:
         )
         chain = table[(inp.stage, subscriber)]
         assert list(chain) == [PathSummary.identity(0)]
-        # Every stage that the input reaches is reached at its own depth.
+        # Same-scope destinations are reached at their own depth;
+        # cross-scope destinations are reached through truncating
+        # boundary summaries (at most the LCA depth — here the root).
         for stage in comp.graph.stages:
             key = (inp.stage, stage)
             if key in table:
                 for summary in table[key]:
-                    assert summary.target_depth == stage.input_depth
+                    if stage.input_context is None:
+                        assert summary.target_depth == stage.input_depth
+                    else:
+                        assert summary.target_depth <= stage.input_depth
+
+    def test_hierarchy_never_under_approximates_flat(self):
+        """Every flat could-result-in verdict is preserved by the
+        hierarchical index (it may only add conservative positives)."""
+        from repro.core.timestamp import Timestamp
+
+        comp = Computation()
+        inp, out = triple_nested_program(comp)
+        comp.build()
+        index = comp.graph.summaries
+        flat = index.flat_table()
+        locations = list(comp.graph.stages) + list(comp.graph.connectors)
+        for l1 in locations:
+            d1 = l1.input_depth if hasattr(l1, "input_depth") else l1.depth
+            for l2 in locations:
+                d2 = l2.input_depth if hasattr(l2, "input_depth") else l2.depth
+                flat_chain = flat.get((l1, l2))
+                if not flat_chain:
+                    continue
+                merged = index.get((l1, l2))
+                assert merged is not None, (l1, l2)
+                for c1 in [(0,) * d1, (1,) * d1, (0,) + (2,) * max(0, d1 - 1)]:
+                    for c2 in [(0,) * d2, (1,) * d2, (3,) + (0,) * max(0, d2 - 1)]:
+                        if any(
+                            s.dominates_counters(c1, c2) for s in flat_chain
+                        ):
+                            assert any(
+                                s.dominates_counters(c1, c2) for s in merged
+                            ), (l1, l2, c1, c2)

@@ -1,0 +1,395 @@
+"""Scoped hierarchical progress tracking: equivalence, algebra, API.
+
+Four suites back the scoped-progress redesign:
+
+- **Bit-identity matrix.**  ``progress_tracking="scoped"`` (boundary
+  projections only) and ``"flat"`` (the paper's every-pointstamp
+  dissemination) must produce identical per-epoch output multisets
+  across workloads x fault-tolerance modes x optimizer settings x
+  backends, including nested loops.
+- **Boundary-summary algebra.**  Unit checks of the projection and the
+  collapsed ``ScopeNode`` representation the protocol disseminates.
+- **Eager builder validation.**  The scope-based builder API rejects
+  malformed loops at construction time with typed errors.
+- **Deprecation shims.**  The pre-redesign ``Loop`` / ``enter`` /
+  ``leave`` surface still works but warns.
+"""
+
+import warnings
+from collections import Counter
+
+import pytest
+
+from repro import Computation
+from repro.core import (
+    CrossScopeConnectError,
+    FeedbackNotConnectedError,
+    GraphValidationError,
+    PathSummary,
+    Timestamp,
+    UnclosedScopeError,
+)
+from repro.algorithms.connectivity import wcc_oracle, weakly_connected_components
+from repro.lib import Loop, Stream, pregel, final_states
+from repro.runtime import ClusterComputation, FaultTolerance
+from repro.workloads.graphs import uniform_random_graph
+
+EDGES_A = uniform_random_graph(40, 70, seed=3)
+EDGES_B = uniform_random_graph(40, 55, seed=4)
+
+
+# ----------------------------------------------------------------------
+# Workload builders: each returns Counter((epoch, record)) — the
+# progress-timing-immune equivalence convention.
+# ----------------------------------------------------------------------
+
+
+def run_wcc(comp):
+    inp = comp.new_input()
+    out = Counter()
+    weakly_connected_components(Stream.from_input(inp)).subscribe(
+        lambda t, recs: out.update((t.epoch, r) for r in recs)
+    )
+    comp.build()
+    inp.on_next(EDGES_A)
+    inp.on_next(EDGES_B)
+    inp.on_completed()
+    comp.run()
+    assert comp.drained()
+    return out
+
+
+def run_nested(comp):
+    """Three-deep nested iterate: inner counters must project away."""
+    inp = comp.new_input()
+    out = Counter()
+
+    def inner(stream):
+        return stream.select(lambda x: x - 1).where(lambda x: x > 0)
+
+    def middle(stream):
+        return inner(stream).iterate(inner).where(lambda x: x % 2 == 0)
+
+    Stream.from_input(inp).iterate(middle).subscribe(
+        lambda t, recs: out.update((t.epoch, r) for r in recs)
+    )
+    comp.build()
+    inp.on_next([6, 11])
+    inp.on_next([9])
+    inp.on_completed()
+    comp.run()
+    assert comp.drained()
+    return out
+
+
+def run_pregel_cc(comp):
+    def compute(ctx):
+        best = min(ctx.messages) if ctx.messages else ctx.state
+        if ctx.superstep == 0 or best < ctx.state:
+            ctx.set_state(min(best, ctx.state))
+            ctx.send_to_neighbors(ctx.state)
+        ctx.vote_to_halt()
+
+    adj = {}
+    for u, v in EDGES_A:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    graph = [(n, n, nbrs) for n, nbrs in adj.items()]
+
+    inp = comp.new_input()
+    out = Counter()
+    states = pregel(Stream.from_input(inp), compute, max_supersteps=60)
+    final_states(states).subscribe(
+        lambda t, recs: out.update((t.epoch, r) for r in recs)
+    )
+    comp.build()
+    inp.on_next(graph)
+    inp.on_completed()
+    comp.run()
+    assert comp.drained()
+    return out
+
+
+CASES = {"wcc": run_wcc, "nested": run_nested, "pregel": run_pregel_cc}
+
+
+def run_case(case, **kwargs):
+    kwargs.setdefault("num_processes", 3)
+    kwargs.setdefault("workers_per_process", 2)
+    kwargs.setdefault("progress_mode", "local+global")
+    return CASES[case](ClusterComputation(**kwargs))
+
+
+class TestScopedFlatBitIdentity:
+    """DESIGN.md invariant: dissemination strategy never changes output."""
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("ft_mode", ["none", "checkpoint", "logging"])
+    def test_matrix_ft_modes(self, case, ft_mode):
+        ft = FaultTolerance(mode=ft_mode)
+        flat = run_case(case, progress_tracking="flat", fault_tolerance=ft)
+        scoped = run_case(case, progress_tracking="scoped", fault_tolerance=ft)
+        assert scoped == flat
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_matrix_optimizer(self, case, optimize):
+        flat = run_case(case, progress_tracking="flat", optimize=optimize)
+        scoped = run_case(case, progress_tracking="scoped", optimize=optimize)
+        assert scoped == flat
+
+    @pytest.mark.parametrize("mode", ["none", "local", "global", "local+global"])
+    def test_matrix_progress_modes(self, mode):
+        flat = run_case("wcc", progress_mode=mode, progress_tracking="flat")
+        scoped = run_case("wcc", progress_mode=mode, progress_tracking="scoped")
+        assert scoped == flat
+
+    def test_matrix_mp_backend(self):
+        flat = run_case("wcc", backend="mp", progress_tracking="flat")
+        scoped = run_case("wcc", backend="mp", progress_tracking="scoped")
+        assert scoped == flat
+
+    def test_wcc_matches_oracle(self):
+        oracle = wcc_oracle(EDGES_A)
+        scoped = run_case("wcc", progress_tracking="scoped")
+        assert {r for e, r in scoped if e == 0} == set(oracle.items())
+
+
+class TestTrafficAndMemoization:
+    """The point of the redesign: boundary summaries shrink the
+    coordination traffic, and memoized hold verdicts actually hit."""
+
+    def test_scoped_reduces_progress_traffic(self):
+        stats = {}
+        for tracking in ("flat", "scoped"):
+            comp = ClusterComputation(
+                num_processes=4,
+                workers_per_process=2,
+                progress_mode="local+global",
+                progress_tracking=tracking,
+            )
+            run_wcc(comp)
+            stats[tracking] = (
+                comp.network.stats.messages("progress"),
+                comp.network.stats.bytes("progress"),
+            )
+        assert stats["scoped"][0] < stats["flat"][0] / 2
+        assert stats["scoped"][1] < stats["flat"][1] / 2
+
+    def test_hold_memoization_hits(self):
+        comp = ClusterComputation(
+            num_processes=4,
+            workers_per_process=2,
+            progress_mode="local+global",
+            progress_tracking="scoped",
+        )
+        run_wcc(comp)
+        hits = sum(n.hold_memo_hits for n in comp.nodes)
+        evals = sum(n.hold_evals for n in comp.nodes)
+        if comp.central is not None:
+            hits += comp.central.hold_memo_hits
+            evals += comp.central.hold_evals
+        assert evals > 0
+        assert hits > 0  # the 0.0%-hit-rate regression stays fixed
+
+    def test_wcc_scope_is_summarized(self):
+        comp = ClusterComputation(2, 2, progress_tracking="scoped")
+        inp = comp.new_input()
+        weakly_connected_components(Stream.from_input(inp)).subscribe(
+            lambda t, recs: None
+        )
+        comp.build()
+        assert len(comp.summarized_scopes) == 1
+        assert comp._proj_table  # interior locations project to the node
+
+    def test_notifying_scope_is_not_summarized(self):
+        # Pregel's vertex requests notifications, so its loop must keep
+        # full-precision dissemination (and still drain correctly).
+        comp = ClusterComputation(2, 2, progress_tracking="scoped")
+        run_pregel_cc(comp)
+        assert comp.summarized_scopes == ()
+
+
+class TestBoundarySummaryAlgebra:
+    def _wcc_graph(self):
+        comp = Computation()
+        inp = comp.new_input()
+        weakly_connected_components(Stream.from_input(inp)).subscribe(
+            lambda t, recs: None
+        )
+        comp.build()
+        return comp
+
+    def test_scope_node_carries_parent_depth(self):
+        comp = self._wcc_graph()
+        index = comp.graph.summary_index
+        (scope,) = comp.graph.contexts
+        node = index.scope_node(scope)
+        assert node.depth == scope.depth - 1 == 0
+
+    def test_projection_drops_inner_counters(self):
+        comp = self._wcc_graph()
+        index = comp.graph.summary_index
+        (scope,) = comp.graph.contexts
+        assert index.project(Timestamp(3, (17,)), scope) == Timestamp(3, ())
+        # Already at boundary depth: projection is the identity.
+        assert index.project(Timestamp(3, ()), scope) == Timestamp(3, ())
+
+    def test_boundary_summary_is_identity_at_parent_depth(self):
+        """Ingress -> interior -> egress composes to the identity at the
+        parent's depth: entering, iterating and leaving never move the
+        parent-level coordinates."""
+        s = (
+            PathSummary.ingress(0)
+            .then(PathSummary.feedback(1))
+            .then(PathSummary.feedback(1))
+            .then(PathSummary.egress(1))
+        )
+        assert s == PathSummary.identity(0)
+
+    def test_cross_scope_summaries_truncate(self):
+        comp = self._wcc_graph()
+        index = comp.graph.summary_index
+        (scope,) = comp.graph.contexts
+        inner = [s for s in comp.graph.stages if s.input_context is scope]
+        outer = [s for s in comp.graph.stages if s.input_context is None]
+        crossing = 0
+        for l1 in inner:
+            for l2 in outer:
+                chain = index.get((l1, l2))
+                if chain is None:
+                    continue
+                crossing += 1
+                for summary in chain:
+                    assert summary.target_depth == 0
+        assert crossing  # the egress path exists
+
+    def test_projected_updates_are_idempotent(self):
+        from repro.core.progress import Pointstamp
+
+        comp = ClusterComputation(2, 2, progress_tracking="scoped")
+        inp = comp.new_input()
+        weakly_connected_components(Stream.from_input(inp)).subscribe(
+            lambda t, recs: None
+        )
+        comp.build()
+        location = next(iter(comp._proj_table))
+        node = comp._proj_table[location]
+        once = comp._project_updates(
+            [(Pointstamp(Timestamp(0, (2,)), location), 1)]
+        )
+        assert once == [(Pointstamp(Timestamp(0, ()), node), 1)]
+        assert comp._project_updates(once) == once
+
+
+class TestEagerValidation:
+    def test_unfed_feedback_raises_at_scope_exit(self):
+        comp = Computation()
+        inp = comp.new_input()
+        with pytest.raises(FeedbackNotConnectedError) as excinfo:
+            with Stream.from_input(inp).scoped_loop(name="hole") as loop:
+                loop.entered.select(lambda x: x)
+        assert excinfo.value.scope_name == "hole"
+
+    def test_body_exception_is_not_masked(self):
+        comp = Computation()
+        inp = comp.new_input()
+        with pytest.raises(ZeroDivisionError):
+            with Stream.from_input(inp).scoped_loop() as loop:
+                1 // 0
+
+    def test_unclosed_scope_rejected_at_build(self):
+        comp = Computation()
+        inp = comp.new_input()
+        scope = Stream.from_input(inp).scoped_loop(name="dangling")
+        scope.__enter__()
+        scope.feed(scope.feedback.select(lambda x: x))
+        with pytest.raises(UnclosedScopeError, match="dangling"):
+            comp.build()
+
+    def test_cross_scope_connect_rejected_eagerly(self):
+        from repro.core import ForwardingVertex
+
+        comp = Computation()
+        inp = comp.new_input()
+        with Stream.from_input(inp).scoped_loop() as loop:
+            loop.feed(loop.entered)
+            outside = comp.graph.new_stage(
+                "sink", lambda s, w: ForwardingVertex(), 1, 1
+            )
+            # Escapes the scope without an egress stage: rejected at
+            # connect time, not at freeze.
+            with pytest.raises(CrossScopeConnectError):
+                loop.feedback.connect_to(outside, 0)
+
+    def test_leave_with_checks_context(self):
+        comp = Computation()
+        inp = comp.new_input()
+        outside = Stream.from_input(inp)
+        with pytest.raises(GraphValidationError):
+            with outside.scoped_loop() as loop:
+                loop.feed(loop.entered)
+                loop.leave_with(outside)  # not a stream of this scope
+
+    def test_double_feed_rejected(self):
+        comp = Computation()
+        inp = comp.new_input()
+        with pytest.raises(GraphValidationError, match="already"):
+            with Stream.from_input(inp).scoped_loop() as loop:
+                loop.feed(loop.entered)
+                loop.feed(loop.entered)
+
+
+class TestDeprecationShims:
+    def _run(self, build):
+        comp = Computation()
+        inp = comp.new_input()
+        out = Counter()
+        build(comp, Stream.from_input(inp)).subscribe(
+            lambda t, recs: out.update((t.epoch, r) for r in recs)
+        )
+        comp.build()
+        inp.on_next([7, 4])
+        inp.on_completed()
+        comp.run()
+        assert comp.drained()
+        return out
+
+    def test_old_loop_api_warns_and_still_works(self):
+        def old_style(comp, stream):
+            with pytest.warns(DeprecationWarning):
+                loop = Loop(comp, max_iterations=None, name="legacy")
+            with pytest.warns(DeprecationWarning):
+                entered = stream.enter(loop)
+            body = (
+                entered.concat(loop.feedback_stream())
+                .select(lambda x: x - 1)
+                .where(lambda x: x > 0)
+            )
+            loop.connect_feedback(body)
+            with pytest.warns(DeprecationWarning):
+                return body.leave()
+
+        def new_style(comp, stream):
+            with stream.scoped_loop(name="legacy") as loop:
+                body = (
+                    loop.entered.concat(loop.feedback)
+                    .select(lambda x: x - 1)
+                    .where(lambda x: x > 0)
+                )
+                loop.feed(body)
+                out = loop.leave_with(body)
+            return out
+
+        assert self._run(old_style) == self._run(new_style)
+
+    def test_new_surface_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            self._run(
+                lambda comp, stream: stream.iterate(
+                    lambda body: body.select(lambda x: x - 2).where(
+                        lambda x: x > 0
+                    )
+                )
+            )
