@@ -1,0 +1,45 @@
+"""The columnar data plane (opt-in via ``REPRO_COLUMNAR=1``).
+
+A :class:`ColumnarBatch` is an array-backed, schema-tagged batch of
+records: one ``array.array`` per column instead of one Python tuple per
+record.  It is the unit that flows through exchanges, coalesced
+worker-queue deliveries and fused chains when the cluster runtime is
+built with ``columnar=True`` — the per-record Python costs the WCC/64
+critical path pays today (tuple construction, per-record partitioner
+calls, per-record size models, per-record pickling between the DES
+coordinator and pool children) collapse to per-batch array operations.
+
+The plane is strictly an *encoding* of the same record streams:
+
+- ``ColumnarBatch.from_records`` only accepts records that conform
+  exactly to the schema (plain tuples of plain ints/floats, or bare
+  ints/floats for scalar schemas); anything else falls back to the
+  record-list path, so arbitrary user data is never coerced.
+- ``to_records`` reproduces the original records bit-for-bit (Python
+  ints/floats, plain tuples), so a vertex without a columnar kernel
+  receives exactly what it would have received — the automatic
+  record-list shim in :meth:`repro.core.vertex.Vertex.on_recv_batch`.
+- The simulator's byte model treats a batch as ``len(batch)`` records
+  of ``default_record_bytes`` each — identical to the record-list
+  model — so virtual time is bit-identical with the plane on or off.
+"""
+
+from .batch import (
+    INT64,
+    INT64_PAIR,
+    ColumnarBatch,
+    PairSink,
+    Schema,
+    combine_payloads,
+    route,
+)
+
+__all__ = [
+    "ColumnarBatch",
+    "PairSink",
+    "Schema",
+    "INT64",
+    "INT64_PAIR",
+    "combine_payloads",
+    "route",
+]

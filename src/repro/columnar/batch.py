@@ -1,0 +1,396 @@
+"""Schema-tagged, array-backed record batches.
+
+Columns are ``array.array`` instances — contiguous machine-typed
+buffers that expose the buffer protocol, so they concatenate, pickle
+and cross the shared-memory ring as single memcpys instead of
+per-record object graphs.  NumPy, when present, accelerates hash
+partitioning; every fast path is checked against the exact semantics of
+the record-at-a-time code it replaces (``hash(key) % total``, stable
+order, first-occurrence share order), so the two paths are
+interchangeable record-for-record.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised indirectly
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+#: ``hash(k) == k`` exactly for ints in ``[0, 2**61 - 1)`` (CPython
+#: reduces modulo the Mersenne prime 2**61 - 1, and negatives / -1 are
+#: special-cased).  The vectorized partitioner only runs inside this
+#: range; outside it the per-record ``hash()`` loop keeps the exact
+#: routing the record path would have produced.
+_HASH_IDENTITY_BOUND = (1 << 61) - 1
+
+#: typecode -> the exact Python type a conforming record field must be.
+#: ``bool`` is an ``int`` subclass but round-trips to ``int`` through an
+#: array, so conformance requires the exact type.
+_FIELD_TYPES = {"q": int, "d": float}
+
+_NP_DTYPES = {"q": "int64", "d": "float64"}
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class Schema:
+    """The column layout of a batch: one typecode per column.
+
+    ``scalar`` declares that records are bare values (``3``) rather than
+    1-tuples (``(3,)``); it is only valid for single-column schemas.
+    Supported typecodes: ``"q"`` (int64, Python ``int``) and ``"d"``
+    (float64, Python ``float``).
+    """
+
+    __slots__ = ("typecodes", "scalar")
+
+    def __init__(self, typecodes: Sequence[str], scalar: bool = False):
+        self.typecodes = tuple(typecodes)
+        if not self.typecodes:
+            raise ValueError("a schema needs at least one column")
+        for typecode in self.typecodes:
+            if typecode not in _FIELD_TYPES:
+                raise ValueError(
+                    "unsupported column typecode %r (supported: %s)"
+                    % (typecode, sorted(_FIELD_TYPES))
+                )
+        if scalar and len(self.typecodes) != 1:
+            raise ValueError("scalar schemas have exactly one column")
+        self.scalar = bool(scalar)
+
+    @property
+    def width(self) -> int:
+        return len(self.typecodes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Schema)
+            and self.typecodes == other.typecodes
+            and self.scalar == other.scalar
+        )
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((Schema, self.typecodes, self.scalar))
+
+    def __repr__(self) -> str:
+        return "Schema(%r%s)" % (
+            "".join(self.typecodes),
+            ", scalar" if self.scalar else "",
+        )
+
+    def __reduce__(self):
+        return (Schema, (self.typecodes, self.scalar))
+
+
+#: Bare int64 records (``select`` chains over plain ints).
+INT64 = Schema(("q",), scalar=True)
+#: ``(int64, int64)`` tuple records (edges, arcs, key/value pairs).
+INT64_PAIR = Schema(("q", "q"))
+
+
+class ColumnarBatch:
+    """An immutable-by-convention batch of ``len(self)`` records.
+
+    Code holding a batch must not mutate its columns: batches are
+    shared between dispatch tuples, checkpoint ledgers and receiver
+    queues exactly like record lists are, and every combining operation
+    (:meth:`concat`, :meth:`partition`) builds fresh arrays.
+    """
+
+    __slots__ = ("schema", "columns")
+
+    def __init__(self, schema: Schema, columns: Sequence[array]):
+        self.schema = schema
+        self.columns = tuple(columns)
+        if len(self.columns) != schema.width:
+            raise ValueError(
+                "schema %r expects %d columns, got %d"
+                % (schema, schema.width, len(self.columns))
+            )
+
+    # ------------------------------------------------------------------
+    # Construction and materialization.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: List[Any], schema: Schema
+    ) -> Optional["ColumnarBatch"]:
+        """Encode ``records`` columnar, or None when they don't conform.
+
+        Conformance is exact — plain tuples of the right arity whose
+        fields have the exact Python type of their column (bare values
+        for scalar schemas) — so ``to_records`` of the result compares
+        equal, field for field, with the input.  Any non-conforming
+        record rejects the whole batch; callers fall back to the
+        record-list path.
+        """
+        typecodes = schema.typecodes
+        try:
+            if schema.scalar:
+                field_type = _FIELD_TYPES[typecodes[0]]
+                for record in records:
+                    if type(record) is not field_type:
+                        return None
+                columns: Tuple[array, ...] = (array(typecodes[0], records),)
+            else:
+                width = schema.width
+                field_types = tuple(_FIELD_TYPES[tc] for tc in typecodes)
+                for record in records:
+                    if type(record) is not tuple or len(record) != width:
+                        return None
+                    for value, field_type in zip(record, field_types):
+                        if type(value) is not field_type:
+                            return None
+                if records:
+                    columns = tuple(
+                        array(tc, values)
+                        for tc, values in zip(typecodes, zip(*records))
+                    )
+                else:
+                    columns = tuple(array(tc) for tc in typecodes)
+        except (TypeError, ValueError, OverflowError):
+            # int outside int64, or a non-sequence sneaking past checks.
+            return None
+        return cls(schema, columns)
+
+    def to_records(self) -> List[Any]:
+        """The exact record list this batch encodes."""
+        if self.schema.scalar:
+            return self.columns[0].tolist()
+        return list(zip(*self.columns))
+
+    # ------------------------------------------------------------------
+    # Batch algebra.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def concat(
+        cls, schema: Schema, parts: Sequence["ColumnarBatch"]
+    ) -> "ColumnarBatch":
+        """Concatenate same-schema batches into a fresh batch."""
+        columns = tuple(array(tc) for tc in schema.typecodes)
+        for part in parts:
+            for acc, column in zip(columns, part.columns):
+                acc.frombytes(memoryview(column).cast("B"))
+        return cls(schema, columns)
+
+    def partition(
+        self, key_col: int, total: int
+    ) -> List[Tuple[int, "ColumnarBatch"]]:
+        """Hash-partition by a key column: ``hash(key) % total``.
+
+        Matches the record path exactly: per-share record order is the
+        batch order, and shares appear in first-occurrence order of
+        their destination.
+        """
+        keys = self.columns[key_col]
+        if not keys:
+            return []
+        schema = self.schema
+        if _np is not None and schema.typecodes[key_col] == "q":
+            key_view = _np.frombuffer(keys, dtype=_np.int64)
+            low = int(key_view.min())
+            if low >= 0 and int(key_view.max()) < _HASH_IDENTITY_BOUND:
+                dests = key_view % total
+                uniq, first = _np.unique(dests, return_index=True)
+                if len(uniq) == 1:
+                    return [(int(uniq[0]), self)]
+                column_views = [
+                    _np.frombuffer(column, dtype=_NP_DTYPES[tc])
+                    for tc, column in zip(schema.typecodes, self.columns)
+                ]
+                shares = []
+                for position in _np.argsort(first, kind="stable"):
+                    dest = int(uniq[position])
+                    mask = dests == dest
+                    columns = []
+                    for tc, view in zip(schema.typecodes, column_views):
+                        selected = array(tc)
+                        selected.frombytes(view[mask].tobytes())
+                        columns.append(selected)
+                    shares.append((dest, ColumnarBatch(schema, columns)))
+                return shares
+        # Exact-semantics fallback: per-record hash() (negative keys,
+        # huge ints, float columns) through the same bucket discipline.
+        buckets = {}
+        columns = self.columns
+        typecodes = schema.typecodes
+        for position, key in enumerate(keys):
+            dest = hash(key) % total
+            share = buckets.get(dest)
+            if share is None:
+                share = buckets[dest] = tuple(array(tc) for tc in typecodes)
+            for acc, column in zip(share, columns):
+                acc.append(column[position])
+        return [
+            (dest, ColumnarBatch(schema, share))
+            for dest, share in buckets.items()
+        ]
+
+    # ------------------------------------------------------------------
+    # Record-list interoperability.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns[0])
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.to_records())
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ColumnarBatch)
+            and self.schema == other.schema
+            and self.columns == other.columns
+        )
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __repr__(self) -> str:
+        return "ColumnarBatch(%r, %d records)" % (self.schema, len(self))
+
+    def __reduce__(self):
+        # Compact, version-stable pickling: schema plus raw column
+        # bytes (one blob per column, no per-record encoding).
+        return (
+            _rebuild_batch,
+            (
+                self.schema.typecodes,
+                self.schema.scalar,
+                tuple(column.tobytes() for column in self.columns),
+            ),
+        )
+
+
+def _rebuild_batch(
+    typecodes: Tuple[str, ...], scalar: bool, blobs: Tuple[bytes, ...]
+) -> ColumnarBatch:
+    schema = Schema(typecodes, scalar)
+    columns = []
+    for typecode, blob in zip(typecodes, blobs):
+        column = array(typecode)
+        column.frombytes(blob)
+        columns.append(column)
+    return ColumnarBatch(schema, columns)
+
+
+# ----------------------------------------------------------------------
+# Data-plane helpers shared by the inline worker and the pool child.
+# ----------------------------------------------------------------------
+
+
+def route(
+    connector, payload, total: int, local_index: int
+) -> List[Tuple[int, Any]]:
+    """Partition one send's payload across the workers of a connector.
+
+    ``payload`` is a record list or a :class:`ColumnarBatch`; the
+    result is a list of ``(dest_worker, share)`` where each share is a
+    batch when the connector carries a columnar schema and the payload
+    conforms, and a record list otherwise.  Pipeline connectors (no
+    partitioner) keep the payload on the local worker.  This is the
+    single routing implementation used by the inline ``_Worker.send``
+    and the pool child's ``_ChildHarness.send``, which is what keeps
+    the two backends bit-identical.
+    """
+    schema = getattr(connector, "columnar", None)
+    partitioner = connector.partitioner
+    if type(payload) is ColumnarBatch:
+        if schema is not None and payload.schema == schema:
+            if partitioner is None:
+                return [(local_index, payload)]
+            key_col = getattr(partitioner, "key_col", None)
+            if key_col is not None:
+                return payload.partition(key_col, total)
+        # Demoted: no schema on this connector, a schema mismatch, or a
+        # partitioner without a key-column hint.
+        payload = payload.to_records()
+    elif schema is not None and partitioner is not None:
+        key_col = getattr(partitioner, "key_col", None)
+        if key_col is not None:
+            batch = ColumnarBatch.from_records(payload, schema)
+            if batch is not None:
+                return batch.partition(key_col, total)
+    if partitioner is None:
+        shares: List[Tuple[int, Any]] = [(local_index, payload)]
+    else:
+        buckets = {}
+        for record in payload:
+            buckets.setdefault(partitioner(record) % total, []).append(record)
+        shares = list(buckets.items())
+    if schema is not None:
+        encoded = []
+        for dest, records in shares:
+            batch = ColumnarBatch.from_records(records, schema)
+            encoded.append((dest, records if batch is None else batch))
+        return encoded
+    return shares
+
+
+class PairSink:
+    """Accumulates ``(int, int)`` emissions for a column kernel.
+
+    The fast path appends straight into two int64 arrays; the first
+    value outside int64 range demotes the whole accumulation to a tuple
+    list (columnar encoding is lossless or not at all), keeping kernels
+    bit-identical with the record path even for pathological ids.
+    """
+
+    __slots__ = ("lefts", "rights", "records")
+
+    def __init__(self):
+        self.lefts = array("q")
+        self.rights = array("q")
+        self.records: Optional[List[Tuple[int, int]]] = None
+
+    def emit(self, left: int, right: int) -> None:
+        records = self.records
+        if records is not None:
+            records.append((left, right))
+            return
+        try:
+            self.lefts.append(left)
+            self.rights.append(right)
+        except OverflowError:
+            # zip truncates to the shorter column, dropping a half-
+            # appended pair; re-emit it as a tuple.
+            self.records = list(zip(self.lefts, self.rights))
+            self.records.append((left, right))
+
+    def payload(self) -> Any:
+        """The accumulated emissions: a batch, a record list, or None."""
+        if self.records is not None:
+            return self.records
+        if len(self.lefts):
+            return ColumnarBatch(INT64_PAIR, (self.lefts, self.rights))
+        return None
+
+
+def combine_payloads(parts: List[Any]) -> Any:
+    """Merge adjacent deliveries' payloads into one.
+
+    Same-schema batches concatenate without materializing records;
+    anything mixed degrades to one record list.  Never mutates a part.
+    """
+    first = parts[0]
+    if type(first) is ColumnarBatch:
+        schema = first.schema
+        if all(
+            type(part) is ColumnarBatch and part.schema == schema
+            for part in parts
+        ):
+            return ColumnarBatch.concat(schema, parts)
+    merged: List[Any] = []
+    for part in parts:
+        merged.extend(part.to_records() if type(part) is ColumnarBatch else part)
+    return merged

@@ -22,6 +22,7 @@ from collections import deque
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..columnar import ColumnarBatch
 from ..obs.trace import TraceEvent, TraceSink, timestamp_tuple
 from .graph import Connector, DataflowGraph, LoopContext, Stage, StageKind
 from .progress import Pointstamp, ProgressState
@@ -423,7 +424,10 @@ class Computation(TimelyRuntime):
         self._frame.append((vertex, timestamp, True))
         self._executing[vertex] = self._executing.get(vertex, 0) + 1
         try:
-            vertex.on_recv(connector.dst_port, records, timestamp)
+            if type(records) is ColumnarBatch:
+                vertex.on_recv_batch(connector.dst_port, records, timestamp)
+            else:
+                vertex.on_recv(connector.dst_port, records, timestamp)
         finally:
             self._frame.pop()
             remaining = self._executing[vertex] - 1

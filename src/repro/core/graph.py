@@ -164,6 +164,7 @@ class Connector:
         "dst_port",
         "partitioner",
         "coalesce",
+        "columnar",
     )
 
     def __init__(
@@ -188,6 +189,12 @@ class Connector:
         #: adjacent same-(connector, timestamp) queue entries into one
         #: callback (see ``_Worker._select``).
         self.coalesce = False
+        #: Set by ``repro.opt.passes.mark_columnar`` when the columnar
+        #: data plane is enabled: the :class:`repro.columnar.Schema`
+        #: records on this connector conform to, so senders may encode
+        #: them as :class:`~repro.columnar.ColumnarBatch` payloads.
+        #: ``None`` keeps the record-list path.
+        self.columnar = None
 
     @property
     def depth(self) -> int:

@@ -89,7 +89,22 @@ class ProgressState:
         self._scope_proj: Dict[int, int] = {}
         self._proj_refs: Dict[int, Dict[Timestamp, int]] = {}
         #: pointstamp -> (version vector, dominated?) memo.
-        self._dominated: Dict[Pointstamp, Tuple[Tuple, bool]] = {}
+        self._dominated: Dict[Pointstamp, Tuple[int, Tuple, bool]] = {}
+        #: Active pointstamps grouped by location, then by epoch.
+        #: could-result-in is location-gated (no path summary between
+        #: two locations means no pointstamp pair across them ever
+        #: relates) and epoch-gated (``t1.epoch <= t2.epoch`` is
+        #: necessary), so the O(active) scans in :meth:`_activate` /
+        #: :meth:`_deactivate` can skip a whole group after two summary
+        #: lookups and a whole epoch bucket after one integer compare,
+        #: instead of paying a memo-key build per member.
+        self._active_by_loc: Dict[Hashable, Dict[int, set]] = {}
+        #: Frontier pointstamps grouped by location, for the same skip
+        #: in :meth:`frontier_dominates`.
+        self._frontier_by_loc: Dict[Hashable, set] = {}
+        #: id(scope) -> (version-at-build, vector): version vectors are
+        #: rebuilt only after a frontier membership change.
+        self._vector_cache: Dict[int, Tuple[int, Tuple]] = {}
 
     # ------------------------------------------------------------------
     # The could-result-in relation on pointstamps.
@@ -106,6 +121,26 @@ class ProgressState:
             antichain = self._summaries.get((p1.location, p2.location))
             cached = antichain is not None and any(
                 s.dominates_counters(t1.counters, t2.counters) for s in antichain
+            )
+            self._cri_cache[key] = cached
+        return cached
+
+    def _cri_counters(self, l1, l2, c1: Tuple, c2: Tuple) -> bool:
+        """could-result-in on raw (location, counters) pairs — the
+        epoch condition is the caller's responsibility.  Lets the scan
+        loops below resolve a whole epoch bucket of flat (no-counter)
+        timestamps with one cached verdict instead of a memo-key build
+        per member."""
+        key = (l1, l2, c1, c2)
+        cached = self._cri_cache.get(key)
+        if cached is None:
+            antichain = self._summaries.get((l1, l2))
+            # A summary keeping more loop levels than the timestamp
+            # carries cannot apply to it (such pairs never reach the
+            # regular could_result_in path either).
+            cached = antichain is not None and any(
+                s.keep <= len(c1) and s.dominates_counters(c1, c2)
+                for s in antichain
             )
             self._cri_cache[key] = cached
         return cached
@@ -137,16 +172,40 @@ class ProgressState:
         precursor = self.precursor
         frontier = self._frontier
         cri = self.could_result_in
-        for other in self.occurrence:
-            if other == pointstamp:
+        summaries = self._summaries
+        location = pointstamp.location
+        epoch = pointstamp.timestamp.epoch
+        flat_self = not pointstamp.timestamp.counters
+        for loc, epochs in self._active_by_loc.items():
+            forward = summaries.get((location, loc)) is not None
+            backward = summaries.get((loc, location)) is not None
+            if not forward and not backward:
                 continue
-            if cri(other, pointstamp):
-                count += 1
-            if cri(pointstamp, other):
-                precursor[other] += 1
-                if other in frontier:
-                    frontier.discard(other)
-                    self._note_membership(other, False)
+            fwd_trivial = forward and self._cri_counters(location, loc, (), ())
+            back_trivial = backward and self._cri_counters(loc, location, (), ())
+            for other_epoch, group in epochs.items():
+                scan_back = backward and other_epoch <= epoch
+                scan_fwd = forward and epoch <= other_epoch
+                if not scan_back and not scan_fwd:
+                    continue
+                for other in group:
+                    if other == pointstamp:
+                        continue
+                    flat = flat_self and not other.timestamp.counters
+                    if scan_back and (
+                        back_trivial if flat else cri(other, pointstamp)
+                    ):
+                        count += 1
+                    if scan_fwd and (
+                        fwd_trivial if flat else cri(pointstamp, other)
+                    ):
+                        precursor[other] += 1
+                        if other in frontier:
+                            frontier.discard(other)
+                            self._note_membership(other, False)
+        self._active_by_loc.setdefault(location, {}).setdefault(
+            epoch, set()
+        ).add(pointstamp)
         precursor[pointstamp] = count
         if count == 0:
             frontier.add(pointstamp)
@@ -154,25 +213,58 @@ class ProgressState:
 
     def _deactivate(self, pointstamp: Pointstamp) -> None:
         del self.precursor[pointstamp]
+        location = pointstamp.location
+        epoch = pointstamp.timestamp.epoch
+        epochs = self._active_by_loc.get(location)
+        if epochs is not None:
+            group = epochs.get(epoch)
+            if group is not None:
+                group.discard(pointstamp)
+                if not group:
+                    del epochs[epoch]
+                    if not epochs:
+                        del self._active_by_loc[location]
         frontier = self._frontier
         if pointstamp in frontier:
             frontier.discard(pointstamp)
             self._note_membership(pointstamp, False)
         precursor = self.precursor
         cri = self.could_result_in
-        for other in self.occurrence:
-            if other != pointstamp and cri(pointstamp, other):
-                remaining = precursor[other] - 1
-                precursor[other] = remaining
-                if remaining == 0:
-                    frontier.add(other)
-                    self._note_membership(other, True)
+        summaries = self._summaries
+        flat_self = not pointstamp.timestamp.counters
+        for loc, other_epochs in self._active_by_loc.items():
+            if summaries.get((location, loc)) is None:
+                continue
+            fwd_trivial = self._cri_counters(location, loc, (), ())
+            for other_epoch, group in other_epochs.items():
+                if other_epoch < epoch:
+                    continue
+                for other in group:
+                    if other == pointstamp:
+                        continue
+                    flat = flat_self and not other.timestamp.counters
+                    if fwd_trivial if flat else cri(pointstamp, other):
+                        remaining = precursor[other] - 1
+                        precursor[other] = remaining
+                        if remaining == 0:
+                            frontier.add(other)
+                            self._note_membership(other, True)
 
     def _note_membership(self, pointstamp: Pointstamp, added: bool) -> None:
         """A pointstamp entered or left the frontier: bump the global
         version, its scope's exact version, and — when its boundary
         projection (dis)appeared — the scope's projected version."""
         self.version += 1
+        if added:
+            self._frontier_by_loc.setdefault(pointstamp.location, set()).add(
+                pointstamp
+            )
+        else:
+            group = self._frontier_by_loc.get(pointstamp.location)
+            if group is not None:
+                group.discard(pointstamp)
+                if not group:
+                    del self._frontier_by_loc[pointstamp.location]
         index = self._index
         if index is None:
             return
@@ -224,18 +316,31 @@ class ProgressState:
         delivery tests, accumulator hold conditions) ask about the same
         pointstamps repeatedly between frontier movements.
         """
-        vector = self.frontier_version_vector(pointstamp.location)
+        # Fast path: no membership change at all since the cached
+        # verdict — skip even the scope-vector lookup.  On a version
+        # move, the vector comparison still salvages verdicts whose
+        # relevant scopes did not move (inner-iteration churn
+        # elsewhere), re-arming the fast path for the next call.
         cached = self._dominated.get(pointstamp)
-        if cached is not None and cached[0] == vector:
-            return cached[1]
+        if cached is not None and cached[0] == self.version:
+            return cached[2]
+        vector = self.frontier_version_vector(pointstamp.location)
+        if cached is not None and cached[1] == vector:
+            self._dominated[pointstamp] = (self.version, vector, cached[2])
+            return cached[2]
         cri = self.could_result_in
-        result = any(
-            other != pointstamp and cri(other, pointstamp)
-            for other in self._frontier
-        )
+        summaries = self._summaries
+        location = pointstamp.location
+        result = False
+        for loc, group in self._frontier_by_loc.items():
+            if summaries.get((loc, location)) is None:
+                continue
+            if any(other != pointstamp and cri(other, pointstamp) for other in group):
+                result = True
+                break
         if len(self._dominated) > 100_000:
             self._dominated.clear()
-        self._dominated[pointstamp] = (vector, result)
+        self._dominated[pointstamp] = (self.version, vector, result)
         return result
 
     def frontier_version_vector(self, location) -> Tuple:
@@ -251,12 +356,18 @@ class ProgressState:
             scope = index.scope_of(location)
         except KeyError:
             return (self.version,)
+        sid = id(scope)
+        cached = self._vector_cache.get(sid)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
         exact = self._scope_exact
         projected = self._scope_proj
-        return tuple(
+        vector = tuple(
             exact.get(id(s), 0) if is_exact else projected.get(id(s), 0)
             for s, is_exact in index.version_plan(scope)
         )
+        self._vector_cache[sid] = (self.version, vector)
+        return vector
 
     def active_pointstamps(self) -> List[Pointstamp]:
         return list(self.occurrence)

@@ -82,6 +82,20 @@ class Vertex:
     def on_notify(self, timestamp: Timestamp) -> None:
         """Called once all messages at times <= ``timestamp`` are delivered."""
 
+    def on_recv_batch(self, input_port: int, batch: Any, timestamp: Timestamp) -> None:
+        """Columnar fast path: a :class:`repro.columnar.ColumnarBatch`
+        arrived (only ever under the opt-in columnar data plane).
+
+        The default implementation is the automatic record-list shim —
+        it materializes the batch and calls :meth:`on_recv`, so every
+        existing vertex works unchanged.  Hot operators override this to
+        run directly on the batch's column arrays, skipping per-record
+        tuple construction; an override must be observably identical to
+        the shim (same outputs, same order, same state) because the
+        runtime chooses between batch and record delivery freely.
+        """
+        self.on_recv(input_port, batch.to_records(), timestamp)
+
     # ------------------------------------------------------------------
     # System methods (provided).
     # ------------------------------------------------------------------
@@ -197,3 +211,8 @@ class ForwardingVertex(Vertex):
             if timestamp.counters[-1] + 1 >= self.max_iterations:
                 return
         self.send_by(0, records, timestamp)
+
+    def on_recv_batch(self, input_port: int, batch: Any, timestamp: Timestamp) -> None:
+        # Forwarding never inspects records, so a columnar batch passes
+        # through whole — no materialization at scope boundaries.
+        self.on_recv(input_port, batch, timestamp)

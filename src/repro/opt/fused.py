@@ -30,8 +30,17 @@ from __future__ import annotations
 import copy
 from typing import Any, Dict, List, Set, Tuple
 
+from ..columnar import ColumnarBatch
 from ..core.timestamp import Timestamp
 from ..core.vertex import Vertex
+
+
+def _deliver(target: Vertex, records: Any, timestamp: Timestamp) -> None:
+    """Dispatch a payload to a constituent, columnar fast path included."""
+    if type(records) is ColumnarBatch:
+        target.on_recv_batch(0, records, timestamp)
+    else:
+        target.on_recv(0, records, timestamp)
 
 
 class _ChainHarness:
@@ -73,7 +82,7 @@ class _ChainHarness:
         if target is None:
             self.fused.send_by(0, records, timestamp)
         else:
-            target.on_recv(0, records, timestamp)
+            _deliver(target, records, timestamp)
 
     def request_notification(
         self, vertex: Vertex, timestamp: Timestamp, capability: bool = True
@@ -117,6 +126,11 @@ class FusedVertex(Vertex):
 
     def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
         self.parts[0].on_recv(0, records, timestamp)
+
+    def on_recv_batch(self, input_port: int, batch: Any, timestamp: Timestamp) -> None:
+        # The head constituent decides whether it has a column kernel;
+        # its default shim materializes, so semantics are unchanged.
+        self.parts[0].on_recv_batch(0, batch, timestamp)
 
     def on_notify(self, timestamp: Timestamp) -> None:
         positions = self._pending.pop(timestamp, None)

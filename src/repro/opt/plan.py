@@ -52,6 +52,13 @@ class OpSpec:
         still executes each constituent's Python per record, so its
         scale is the chain length (fusion removes per-event overhead,
         not per-record work).
+    ``schema``
+        optional :class:`repro.columnar.Schema` declaring the record
+        layout this operator consumes (and, for the symmetric library
+        operators, produces).  Consumed by ``mark_columnar`` when the
+        columnar data plane is enabled; ``None`` means record lists
+        only.  Annotating a schema is a claim about record *shape*, not
+        semantics — non-conforming records still take the list path.
     """
 
     __slots__ = (
@@ -61,6 +68,7 @@ class OpSpec:
         "preserves_partitioning",
         "constituents",
         "cost_scale",
+        "schema",
     )
 
     def __init__(
@@ -71,6 +79,7 @@ class OpSpec:
         preserves_partitioning: bool = False,
         constituents: Tuple[str, ...] = (),
         cost_scale: int = 1,
+        schema: Optional[Any] = None,
     ):
         self.kind = kind
         self.fusable = fusable
@@ -78,6 +87,7 @@ class OpSpec:
         self.preserves_partitioning = preserves_partitioning
         self.constituents = constituents
         self.cost_scale = cost_scale
+        self.schema = schema
 
     def __repr__(self) -> str:
         flags = [
@@ -102,12 +112,20 @@ class HashPartitioner:
     object* — the conservative identity test under which exchange
     elision is provably safe (equal callables route every record to the
     same worker).
+
+    ``key_col`` optionally names the record field (column index) the
+    selector extracts, i.e. asserts ``key(record) == record[key_col]``.
+    The columnar data plane uses it to hash-partition a
+    :class:`~repro.columnar.ColumnarBatch` by its key column without
+    materializing records; it never affects routing semantics or
+    equality.
     """
 
-    __slots__ = ("key",)
+    __slots__ = ("key", "key_col")
 
-    def __init__(self, key: Callable[[Any], Any]):
+    def __init__(self, key: Callable[[Any], Any], key_col: Optional[int] = None):
         self.key = key
+        self.key_col = key_col
 
     def __call__(self, record: Any) -> int:
         return hash(self.key(record))
@@ -190,6 +208,10 @@ def describe_graph(graph: DataflowGraph) -> List[str]:
             marks.append("exchange")
         if connector.coalesce:
             marks.append("coalesce")
+        if getattr(connector, "columnar", None) is not None:
+            # Only ever set post-compile by mark_columnar (the columnar
+            # opt-in), so pass-pipeline golden reports never change.
+            marks.append("columnar")
         lines.append(
             "  (%d) %s -> %s%s"
             % (

@@ -1,0 +1,140 @@
+"""Zero-copy effect transfer: a shared-memory scratch arena per child.
+
+Without it, every :class:`~repro.columnar.ColumnarBatch` a pool child
+emits is pickled into the result pipe (compact — ``__reduce__`` ships
+raw column bytes — but still framed, copied into the pipe buffer,
+copied out, and unpickled).  With it, the child memcpys the column
+blobs into a ``multiprocessing.shared_memory`` segment the coordinator
+mapped before the fork and sends only a tiny :class:`RingRef` (offset +
+column lengths) through the pipe; the coordinator rebuilds the arrays
+straight from the shared pages.
+
+Protocol (single-producer, single-consumer, one direction):
+
+- One segment per child, created by the coordinator *before* forking,
+  so the child inherits the mapping (fork shares ``MAP_SHARED`` pages;
+  nothing is re-opened by name).
+- The child owns the write cursor and resets it at the start of every
+  task.  This is safe because the pool runs **one outstanding task per
+  child** and the coordinator hydrates every ``RingRef`` in a reply at
+  receive time, *before* pumping the next task to that child — by the
+  time the child could overwrite the arena, no live reference into it
+  remains.
+- A batch that does not fit in the remaining arena space falls back to
+  the pickle path (``put`` returns None and the batch rides the pipe),
+  so arena size is a performance knob, never a correctness limit.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Tuple
+
+from ..columnar import ColumnarBatch, Schema
+
+try:  # pragma: no cover - platform gate
+    from multiprocessing import shared_memory as _shm
+except Exception:  # pragma: no cover
+    _shm = None
+
+
+def shared_memory_available() -> bool:
+    return _shm is not None
+
+
+class RingRef:
+    """A pipe-sized stand-in for a batch parked in the shared arena."""
+
+    __slots__ = ("offset", "lengths", "typecodes", "scalar")
+
+    def __init__(
+        self,
+        offset: int,
+        lengths: Tuple[int, ...],
+        typecodes: Tuple[str, ...],
+        scalar: bool,
+    ):
+        self.offset = offset
+        self.lengths = lengths
+        self.typecodes = typecodes
+        self.scalar = scalar
+
+    def __reduce__(self):
+        return (RingRef, (self.offset, self.lengths, self.typecodes, self.scalar))
+
+    def __repr__(self) -> str:
+        return "RingRef(@%d, %r)" % (self.offset, self.typecodes)
+
+
+#: Default arena size per child; batches larger than the arena simply
+#: take the pickle path.
+DEFAULT_RING_BYTES = 4 << 20
+
+
+class EffectRing:
+    """One child's shared-memory scratch arena (see module docstring)."""
+
+    __slots__ = ("segment", "buffer", "size", "cursor", "_schemas")
+
+    def __init__(self, size: int = DEFAULT_RING_BYTES):
+        if _shm is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self.segment = _shm.SharedMemory(create=True, size=size)
+        self.buffer = self.segment.buf
+        self.size = size
+        self.cursor = 0
+        #: (typecodes, scalar) -> Schema, so hydration reuses objects.
+        self._schemas = {}
+
+    # -- child side ----------------------------------------------------
+
+    def reset(self) -> None:
+        self.cursor = 0
+
+    def put(self, batch: ColumnarBatch) -> Optional[RingRef]:
+        """Park a batch's columns in the arena; None when out of space."""
+        views = [memoryview(column).cast("B") for column in batch.columns]
+        total = sum(len(view) for view in views)
+        offset = self.cursor
+        if offset + total > self.size:
+            return None
+        buffer = self.buffer
+        position = offset
+        lengths = []
+        for view in views:
+            nbytes = len(view)
+            buffer[position : position + nbytes] = view
+            position += nbytes
+            lengths.append(nbytes)
+        self.cursor = position
+        schema = batch.schema
+        return RingRef(offset, tuple(lengths), schema.typecodes, schema.scalar)
+
+    # -- coordinator side ----------------------------------------------
+
+    def get(self, ref: RingRef) -> ColumnarBatch:
+        """Rebuild the batch a :class:`RingRef` points at (copies out)."""
+        key = (ref.typecodes, ref.scalar)
+        schema = self._schemas.get(key)
+        if schema is None:
+            schema = self._schemas[key] = Schema(ref.typecodes, ref.scalar)
+        buffer = self.buffer
+        position = ref.offset
+        columns = []
+        for typecode, nbytes in zip(ref.typecodes, ref.lengths):
+            column = array(typecode)
+            column.frombytes(buffer[position : position + nbytes])
+            position += nbytes
+            columns.append(column)
+        return ColumnarBatch(schema, columns)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self, unlink: bool = False) -> None:
+        try:
+            self.buffer = None
+            self.segment.close()
+            if unlink:
+                self.segment.unlink()
+        except Exception:
+            pass

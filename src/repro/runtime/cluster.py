@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..columnar import ColumnarBatch, combine_payloads, route
 from ..core.computation import Computation, TimestampViolation
 from ..core.graph import Connector, Stage, StageKind
 from ..core.progress import Pointstamp
@@ -140,6 +141,9 @@ class _Worker:
         "_dispatches",
         "delivered_messages",
         "delivered_notifications",
+        "_pending_rev",
+        "_notif_memo",
+        "_cleanup_memo",
     )
 
     def __init__(self, cluster: "ClusterComputation", index: int):
@@ -175,6 +179,14 @@ class _Worker:
         self._dispatches: Optional[List[Tuple]] = None
         self.delivered_messages = 0
         self.delivered_notifications = 0
+        #: Bumped whenever the pending notification/cleanup tables gain
+        #: or lose a key; with the progress view's frontier version it
+        #: keys the deliverability memos below — ``activate()`` runs the
+        #: full unblocked() scan once per (frontier, pending-set) state
+        #: instead of once per delivery.
+        self._pending_rev = 0
+        self._notif_memo: Optional[Tuple] = None
+        self._cleanup_memo: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # Harness interface (Vertex.send_by / Vertex.notify_at).
@@ -201,14 +213,7 @@ class _Worker:
         out_time = stage.timestamp_action().apply(timestamp)
         total = self.cluster.total_workers
         for connector in stage.outputs[output_port]:
-            if connector.partitioner is None:
-                shares = [(self.index, records)]
-            else:
-                buckets: Dict[int, List[Any]] = {}
-                partitioner = connector.partitioner
-                for record in records:
-                    buckets.setdefault(partitioner(record) % total, []).append(record)
-                shares = list(buckets.items())
+            shares = route(connector, records, total, self.index)
             pointstamp = Pointstamp(out_time, connector)
             for dest, batch in shares:
                 self._updates.append((pointstamp, +1))
@@ -247,12 +252,14 @@ class _Worker:
             self.pending_notifications[pointstamp] = (
                 self.pending_notifications.get(pointstamp, 0) + 1
             )
+            self._pending_rev += 1
         else:
             # Section 2.4: guarantee-only request — no pointstamp, no
             # protocol traffic, cannot delay anything anywhere.
             self.pending_cleanups[pointstamp] = (
                 self.pending_cleanups.get(pointstamp, 0) + 1
             )
+            self._pending_rev += 1
 
     # ------------------------------------------------------------------
     # Scheduling.
@@ -319,24 +326,79 @@ class _Worker:
         if not self.pending_notifications:
             return None
         view = self.cluster.views[self.process]
-        best = None
+        key = (id(view.state), view.state.version, self._pending_rev)
+        memo = self._notif_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        # Delivery tests are needed only for per-location *minima* of
+        # flat (counter-free) pointstamps: two flat notifications at the
+        # same location share the counter part of every could-result-in
+        # verdict, so a frontier element blocking the earlier epoch
+        # blocks every later one too (it cannot *be* the later one — its
+        # epoch is <= the earlier's).  Loop timestamps don't share
+        # verdicts this way and are tested individually.
+        candidates = {}
+        loop_stamps = None
         for pointstamp in self.pending_notifications:
+            if pointstamp.timestamp.counters:
+                if loop_stamps is None:
+                    loop_stamps = []
+                loop_stamps.append(pointstamp)
+                continue
+            current = candidates.get(pointstamp.location)
+            if current is None or pointstamp.timestamp < current.timestamp:
+                candidates[pointstamp.location] = pointstamp
+        best = None
+        scan = (
+            candidates.values()
+            if loop_stamps is None
+            else list(candidates.values()) + loop_stamps
+        )
+        for pointstamp in scan:
             if view.unblocked(pointstamp):
                 if best is None or (pointstamp.timestamp, pointstamp.location.index) < (
                     best.timestamp,
                     best.location.index,
                 ):
                     best = pointstamp
+        self._notif_memo = (key, best)
         return best
 
     def _deliverable_cleanup(self) -> Optional[Pointstamp]:
         if not self.pending_cleanups:
             return None
         view = self.cluster.views[self.process]
+        key = (id(view.state), view.state.version, self._pending_rev)
+        memo = self._cleanup_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        # Same per-location minima argument as in
+        # :meth:`_deliverable_notification`: if a flat group's earliest
+        # member is blocked the whole group is, so any-unblocked can be
+        # decided from the minima alone.
+        candidates = {}
+        loop_stamps = None
         for pointstamp in self.pending_cleanups:
+            if pointstamp.timestamp.counters:
+                if loop_stamps is None:
+                    loop_stamps = []
+                loop_stamps.append(pointstamp)
+                continue
+            current = candidates.get(pointstamp.location)
+            if current is None or pointstamp.timestamp < current.timestamp:
+                candidates[pointstamp.location] = pointstamp
+        found = None
+        scan = (
+            candidates.values()
+            if loop_stamps is None
+            else list(candidates.values()) + loop_stamps
+        )
+        for pointstamp in scan:
             if view.unblocked(pointstamp):
-                return pointstamp
-        return None
+                found = pointstamp
+                break
+        self._cleanup_memo = (key, found)
+        return found
 
     def _select(self) -> Optional[Tuple]:
         """Dequeue this worker's next unit of work, or None if idle.
@@ -375,20 +437,23 @@ class _Worker:
                     # semantics are batching-insensitive.  FIFO only:
                     # "earliest" reorders the queue between selections.
                     queue = self.queue
-                    merged = None
+                    parts = None
                     while queue:
                         head = queue[0]
                         if head[0] is not connector or head[2] != timestamp:
                             break
-                        if merged is None:
-                            merged = list(records)
-                        merged.extend(head[1])
+                        if parts is None:
+                            parts = [records]
+                        parts.append(head[1])
                         remote_bytes += head[3]
                         queue.popleft()
                         batches += 1
                         self.cluster.coalesced_batches += 1
-                    if merged is not None:
-                        records = merged
+                    if parts is not None:
+                        # Same-schema columnar parts concatenate without
+                        # materializing records; mixed parts flatten to
+                        # one record list (the pre-columnar behaviour).
+                        records = combine_payloads(parts)
             if self.cluster._proj_table:
                 self.cluster._note_scope_dequeue(
                     connector, timestamp, self.process, batches
@@ -401,6 +466,7 @@ class _Worker:
                 self.pending_notifications[pointstamp] = remaining
             else:
                 del self.pending_notifications[pointstamp]
+            self._pending_rev += 1
             return ("notify", pointstamp)
         pointstamp = self._deliverable_cleanup()
         if pointstamp is None:
@@ -410,6 +476,7 @@ class _Worker:
             self.pending_cleanups[pointstamp] = remaining
         else:
             del self.pending_cleanups[pointstamp]
+        self._pending_rev += 1
         return ("cleanup", pointstamp)
 
     def _apply_effects(self, vertex: Vertex, effects: List[Tuple]) -> None:
@@ -444,10 +511,12 @@ class _Worker:
                     self.pending_notifications[pointstamp] = (
                         self.pending_notifications.get(pointstamp, 0) + 1
                     )
+                    self._pending_rev += 1
                 else:
                     self.pending_cleanups[pointstamp] = (
                         self.pending_cleanups.get(pointstamp, 0) + 1
                     )
+                    self._pending_rev += 1
 
     def _step(self) -> None:
         if self.dead:
@@ -491,7 +560,10 @@ class _Worker:
                 self._frame_time = timestamp
                 self._frame_stage = connector.dst
                 try:
-                    vertex.on_recv(connector.dst_port, records, timestamp)
+                    if type(records) is ColumnarBatch:
+                        vertex.on_recv_batch(connector.dst_port, records, timestamp)
+                    else:
+                        vertex.on_recv(connector.dst_port, records, timestamp)
                 finally:
                     self._frame_time = None
                     self._frame_stage = None
@@ -543,6 +615,44 @@ class _Worker:
                     (),
                 )
 
+        # Sender-side batch coalescing: a callback that sent several
+        # times to the same (connector, dest, time) — e.g. per-record
+        # emission loops feeding a coalescible destination — produced
+        # adjacent dispatches that would each be charged per-message
+        # network bytes and a +1/-1 occurrence round trip, even though
+        # the receiver merges them on arrival.  Merge them here, before
+        # sizing, so per-message costs are paid once per coalesced batch
+        # (the hot-path accounting fix).  Adjacency-only, so ordering
+        # relative to other connectors is untouched; runs after
+        # _apply_effects, so the inline and mp backends stay identical.
+        dispatches = self._dispatches
+        if len(dispatches) > 1:
+            merged = [dispatches[0]]
+            for entry in dispatches[1:]:
+                prev = merged[-1]
+                connector = entry[0]
+                if (
+                    connector is prev[0]
+                    and connector.coalesce
+                    and entry[1] == prev[1]
+                    and entry[3] == prev[3]
+                ):
+                    payload = combine_payloads([prev[2], entry[2]])
+                    size = (
+                        prev[4] + entry[4]
+                        if prev[4] >= 0 and entry[4] >= 0
+                        else -1
+                    )
+                    merged[-1] = (connector, prev[1], payload, prev[3], size)
+                    # The receiver will consume one queue entry, not two:
+                    # retire the duplicate occurrence at the source.
+                    self._updates.remove((Pointstamp(entry[3], connector), 1))
+                    cluster.sender_merged_dispatches += 1
+                else:
+                    merged.append(entry)
+            if len(merged) != len(dispatches):
+                dispatches = self._dispatches = merged
+
         # Sender-side serialization and (optionally) logging costs.  The
         # batch size is computed once here and carried on the dispatch
         # tuple, so _commit's network sends reuse it instead of paying a
@@ -550,7 +660,6 @@ class _Worker:
         # recorded by a pool child already carry their size (>= 0); the
         # coordinator then skips the O(records) sizing pass entirely.
         log_bytes = 0
-        dispatches = self._dispatches
         for i in range(len(dispatches)):
             connector, dest, batch, out_time, presize = dispatches[i]
             if cluster.worker_process(dest) != self.process:
@@ -690,6 +799,7 @@ class ClusterComputation(Computation):
         optimize: Optional[Any] = None,
         progress_tracking: str = "scoped",
         progress_batch_interval: float = 250e-6,
+        columnar: Optional[bool] = None,
     ):
         super().__init__(optimize=optimize)
         if scheduling not in ("fifo", "earliest"):
@@ -729,6 +839,17 @@ class ClusterComputation(Computation):
             env_workers = os.environ.get("REPRO_POOL_WORKERS")
             pool_workers = int(env_workers) if env_workers else None
         self.pool_workers = pool_workers
+        # The columnar data plane (repro.columnar): schema-marked
+        # connectors move array-backed batches instead of record lists.
+        # Strictly an encoding — outputs and virtual time are
+        # bit-identical with the plane off.  Defaults to REPRO_COLUMNAR.
+        if columnar is None:
+            from ..opt.passes import parse_optimize_env
+
+            columnar = parse_optimize_env(os.environ.get("REPRO_COLUMNAR"))
+        self.columnar = bool(columnar)
+        #: Connectors mark_columnar annotated at build time.
+        self.columnar_connectors = 0
         #: The mp backend's VertexPool; created lazily on the first
         #: run()/step()/checkpoint() after build(), so the fork captures
         #: the fully constructed physical graph.
@@ -817,6 +938,10 @@ class ClusterComputation(Computation):
         #: Queue entries merged away by batch coalescing (the
         #: optimizer's ``Connector.coalesce`` hints; see _Worker._select).
         self.coalesced_batches = 0
+        #: Same-callback dispatches to one (connector, dest, time) merged
+        #: into a single wire message before serialization (_Worker._step),
+        #: so per-message costs are charged once per coalesced batch.
+        self.sender_merged_dispatches = 0
 
     # ------------------------------------------------------------------
     # Configuration.
@@ -896,6 +1021,13 @@ class ClusterComputation(Computation):
         if self._built:
             return
         self._apply_optimizer()
+        if self.columnar:
+            # After the pass pipeline (fusion settles the final stages
+            # and schemas), before freeze.  Not a compiler pass: marking
+            # is runtime configuration and never appears in explain().
+            from ..opt.passes import mark_columnar
+
+            self.columnar_connectors = mark_columnar(self.graph)
         self.graph.freeze()
         summaries = self.graph.summaries
         shared_cri_cache: Dict = {}
@@ -1258,7 +1390,17 @@ class ClusterComputation(Computation):
         else:
             for offset, record in enumerate(records):
                 buckets.setdefault(offset % total, []).append(record)
-        return list(buckets.items())
+        shares = list(buckets.items())
+        schema = connector.columnar
+        if schema is not None:
+            # Encode each conforming share at the ingest boundary so the
+            # whole downstream path moves batches.
+            encoded = []
+            for dest, share in shares:
+                batch = ColumnarBatch.from_records(share, schema)
+                encoded.append((dest, share if batch is None else batch))
+            return encoded
+        return shares
 
     def _release_close(self, stage: Stage, next_epoch: int) -> None:
         self._controller_broadcast(
@@ -2024,6 +2166,7 @@ class ClusterComputation(Computation):
             worker.pending_cleanups = dict(
                 snapshot["cleanups"].get(worker.index, {})
             )
+            worker._pending_rev += 1
         for node in self.nodes:
             node.reset()
         if self.central is not None:

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List
 
+from ..columnar import ColumnarBatch
+
 
 @dataclass(frozen=True)
 class SyntheticRecords:
@@ -35,6 +37,8 @@ class SyntheticRecords:
 
 def record_count(records: List[Any]) -> int:
     """Number of logical records in a batch."""
+    if type(records) is ColumnarBatch:
+        return len(records)
     total = 0
     for record in records:
         if isinstance(record, SyntheticRecords):
@@ -52,6 +56,10 @@ def batch_bytes(records: List[Any], default_record_bytes: int) -> int:
     vector chunks) report their own serialized size; everything else
     counts as ``default_record_bytes``.
     """
+    if type(records) is ColumnarBatch:
+        # O(1), and identical to the record-list model for the same
+        # records — columnar encoding never changes virtual time.
+        return len(records) * default_record_bytes
     total = 0
     for record in records:
         if isinstance(record, SyntheticRecords):

@@ -13,6 +13,8 @@ invariant 5, unchanged).
 
 from collections import Counter
 
+import pytest
+
 from repro.lib import Collection, Stream
 from repro.obs import TraceSink, checkpoint_pause_stats
 from repro.runtime import ClusterComputation, FaultTolerance
@@ -320,3 +322,77 @@ class TestSkipRollback:
         # No restore of any kind happened.
         assert [e for e in sink if e.kind == "restore"] == []
         assert comp.recovery.failures[0]["policy"] == "restart"
+
+
+# ----------------------------------------------------------------------
+# Buffering vertices under the async cut: a mid-epoch kill lands while
+# per-timestamp buffers are live; flushed buffers must not resurrect.
+# ----------------------------------------------------------------------
+
+
+def run_buffering_chain(ft=None, kill=None):
+    """buffered -> count_by -> aggregate_by: every class of per-timestamp
+    buffering state (list buffers, count tables, fold accumulators) is
+    live mid-epoch, so an async cut + kill exercises exactly the state
+    the incremental dirty-bit snapshots must get right."""
+    comp = ClusterComputation(
+        num_processes=2, workers_per_process=2, fault_tolerance=ft
+    )
+    inp = comp.new_input()
+    out = {}
+    (
+        Stream.from_input(inp)
+        .buffered(lambda rs: sorted(rs))
+        .count_by(lambda x: x % 5)
+        .aggregate_by(lambda kc: kc[0] % 2, lambda kc: kc[1], max)
+        .subscribe(lambda t, recs: out.setdefault(t.epoch, sorted(recs)))
+    )
+    comp.build()
+    if kill is not None:
+        comp.kill_process(kill[0], at=kill[1])
+    for epoch in [list(range(40)), [3] * 25, [], list(range(7, 29))]:
+        inp.on_next(epoch)
+    inp.on_completed()
+    comp.run()
+    assert comp.drained(), comp.debug_state()
+    return out, comp
+
+
+class TestBufferingVerticesSurviveMidEpochKill:
+    @pytest.mark.parametrize("fraction", [0.2, 0.5, 0.8])
+    def test_outputs_identical_across_kill_points(self, fraction):
+        expected, clean = run_buffering_chain(ft=make_async_ft(every=1))
+        assert clean.async_ckpt.completed_cycle >= 1
+        out, comp = run_buffering_chain(
+            ft=make_async_ft(every=1), kill=(1, clean.now * fraction)
+        )
+        assert out == expected
+        assert len(comp.recovery.failures) == 1
+
+    def test_flushed_buffers_leave_the_cached_snapshots(self):
+        # White-box: after the run drains, every epoch's buffers were
+        # flushed by on_notify, and because each flush marks the vertex
+        # dirty, the next incremental capture re-serializes it — the
+        # final cached snapshots hold no stale per-timestamp state.
+        _, comp = run_buffering_chain(ft=make_async_ft(every=1))
+        # One more cut at drain time: every buffer has been flushed and
+        # every flush marked its vertex dirty, so this capture must
+        # re-serialize them all with empty per-timestamp tables.
+        comp.checkpoint()
+        ac = comp.async_ckpt
+        assert ac.completed_cycle >= 1
+        buffering = {
+            stage.index
+            for stage in comp.graph.stages
+            if stage.name.startswith(("buffered", "count_by", "aggregate_by"))
+        }
+        assert buffering
+        checked = 0
+        for (stage_index, _worker), state in ac._last_states.items():
+            if stage_index not in buffering:
+                continue
+            for attr in ("buffers", "counts", "state"):
+                if attr in state:
+                    assert state[attr] == {}, (stage_index, attr)
+                    checked += 1
+        assert checked > 0

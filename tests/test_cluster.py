@@ -341,3 +341,72 @@ class TestVirtualTime:
             )
             results[mode] = comp.network.stats.bytes("progress")
         assert results["local"] < results["none"] / 2
+
+
+class DoubleSendVertex(Vertex):
+    """Sends its input in two halves to the same output connector from
+    one callback — the shape whose per-message network accounting the
+    sender-side merge fixes."""
+
+    notifies = False
+
+    def on_recv(self, input_port, records, timestamp):
+        half = len(records) // 2
+        self.send_by(0, records[:half], timestamp)
+        self.send_by(0, records[half:], timestamp)
+
+
+class TestSenderSideBatchAccounting:
+    """A callback's repeat sends to one coalesced destination must be
+    charged per-message wire overhead once, not per constituent send.
+
+    The receiver has always merged adjacent same-(connector, timestamp)
+    deliveries; before the sender-side merge, each constituent still
+    paid its own ``per_message_bytes`` and occurrence round trip.  The
+    plan below routes 8 records through a double-sending stage into a
+    remote ``count_by`` (batchable, so the optimizer hints its input
+    connector coalescible): unmerged that is 2 wire messages of 4
+    records (2 * (4*8 + 64) = 192 bytes), merged exactly one
+    (8*8 + 64 = 128 bytes).
+    """
+
+    RECORDS = list(range(8))
+
+    def _run(self, optimize):
+        comp = ClusterComputation(
+            num_processes=2, workers_per_process=2, optimize=optimize
+        )
+        inp = comp.new_input()
+        stage = comp.graph.new_stage(
+            "double", lambda s, w: DoubleSendVertex(), 1, 1
+        )
+        # Pin the sender to worker 0 (process 0) and the counter to
+        # worker 2 (process 1) so the merged batch crosses the network.
+        Stream.from_input(inp).connect_to(stage, 0, partitioner=lambda r: 0)
+        out = {}
+        Stream(comp, stage, 0).count_by(lambda r: 2).subscribe(
+            lambda t, recs: out.setdefault(t.epoch, sorted(recs))
+        )
+        comp.build()
+        inp.on_next(self.RECORDS)
+        inp.on_completed()
+        comp.run()
+        assert comp.drained(), comp.debug_state()
+        return out, comp
+
+    def test_coalesced_batch_charged_one_message(self):
+        out, comp = self._run(optimize=True)
+        assert out == {0: [(2, len(self.RECORDS))]}
+        assert comp.sender_merged_dispatches == 1
+        assert comp.network.stats.messages("data") == 1
+        assert comp.network.stats.bytes("data") == 128
+
+    def test_unhinted_plan_still_pays_per_send(self):
+        # Without the coalesce hint the two sends stay distinct wire
+        # messages — the merge keys on the optimizer's hint, never on
+        # guesswork about delivery semantics.
+        out, comp = self._run(optimize=False)
+        assert out == {0: [(2, len(self.RECORDS))]}
+        assert comp.sender_merged_dispatches == 0
+        assert comp.network.stats.messages("data") == 2
+        assert comp.network.stats.bytes("data") == 192

@@ -6,7 +6,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Computation
+from repro.core.timestamp import Timestamp
 from repro.lib import Stream
+from repro.lib.operators import (
+    AggregateByVertex,
+    CountByVertex,
+    UnaryBufferingVertex,
+)
 
 
 def run_unary(build, epochs):
@@ -310,3 +316,52 @@ class TestSubscribeOrdering:
         inp.on_completed()
         comp.run()
         assert [(t.epoch, sorted(r)) for t, r in sink] == [(0, [2, 3])]
+
+
+class _NullHarness:
+    """Absorbs send_by/notify_at so buffering vertices run standalone."""
+
+    total_workers = 1
+
+    def send(self, vertex, port, records, timestamp):
+        pass
+
+    def request_notification(self, vertex, timestamp, capability=True):
+        pass
+
+
+class TestBufferFlushLeavesNoSnapshotResidue:
+    """Per-timestamp buffers must disappear from the vertex — and hence
+    from any later checkpoint — once ``on_notify`` flushed them.  A
+    flushed buffer lingering in a snapshot would be resurrected by a
+    rollback and double-emitted on replay."""
+
+    @pytest.mark.parametrize(
+        "make,records,attr",
+        [
+            (
+                lambda: UnaryBufferingVertex(lambda rs: sorted(rs)),
+                [3, 1, 2],
+                "buffers",
+            ),
+            (lambda: CountByVertex(lambda r: r), [5, 5, 9], "counts"),
+            (
+                lambda: AggregateByVertex(lambda r: r % 2, lambda r: r, max),
+                [4, 7, 8],
+                "state",
+            ),
+        ],
+    )
+    def test_flush_then_checkpoint_is_empty(self, make, records, attr):
+        vertex = make()
+        vertex._harness = _NullHarness()
+        ts = Timestamp(0, ())
+        vertex.on_recv(0, records, ts)
+        # Mid-epoch: the buffered state is in the snapshot (it must be —
+        # a rollback to this point needs it to replay correctly).
+        assert vertex.checkpoint()[attr]
+        vertex.on_notify(ts)
+        # Flushed: the buffer is gone from the vertex...
+        assert getattr(vertex, attr) == {}
+        # ...and from every checkpoint taken after the flush.
+        assert vertex.checkpoint()[attr] == {}

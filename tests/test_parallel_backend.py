@@ -112,3 +112,39 @@ class TestBackendEquivalence:
         )
         assert all(0 <= rank < POOL_WORKERS for rank in lines)
         comp.close()
+
+
+class TestChildErrorPropagation:
+    def test_failing_udf_surfaces_its_real_traceback(self):
+        # A UDF crashing inside a pool child must surface on the
+        # coordinator with the child's own stack — exception type,
+        # message, the UDF's frame and its actual line number — not
+        # just a flattened "something failed in the pool".
+        from repro.lib import Stream
+        from repro.runtime import ClusterComputation
+
+        def explode(x):
+            raise ValueError("boom %d" % x)
+
+        boom_line = explode.__code__.co_firstlineno + 1
+        comp = ClusterComputation(
+            num_processes=2,
+            workers_per_process=2,
+            backend="mp",
+            pool_workers=POOL_WORKERS,
+        )
+        inp = comp.new_input()
+        Stream.from_input(inp).select(explode).subscribe(lambda t, recs: None)
+        comp.build()
+        inp.on_next([7])
+        inp.on_completed()
+        with pytest.raises(RuntimeError) as info:
+            comp.run()
+        message = str(info.value)
+        assert "ValueError" in message
+        assert "boom 7" in message
+        assert "child traceback" in message
+        assert "in explode" in message
+        assert "test_parallel_backend.py" in message
+        assert "line %d" % boom_line in message
+        comp.close()
