@@ -15,7 +15,9 @@ from .connectivity import (
 from .hashtag_components import (
     QueryVertex,
     app_oracle,
+    component_top_resolver,
     hashtag_component_app,
+    hashtag_component_arrangements,
     top_hashtags_by_component,
 )
 from .kexposure import k_exposure
@@ -50,7 +52,9 @@ __all__ = [
     "app_oracle",
     "approximate_shortest_paths",
     "asp_oracle",
+    "component_top_resolver",
     "hashtag_component_app",
+    "hashtag_component_arrangements",
     "k_exposure",
     "label_propagation",
     "local_gradient",

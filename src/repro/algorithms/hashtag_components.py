@@ -46,7 +46,13 @@ class QueryVertex(Vertex):
     epoch that happened to be scheduled early.  That makes fresh answers
     a pure function of the per-epoch input multisets, so they survive a
     failure-recovery replay bit-identically.  Stale mode keeps applying
-    (and answering) on arrival; bounded staleness is its contract.
+    (and answering) on arrival; bounded staleness is its contract, and
+    it is *measured*: every stale answer is a 4-tuple whose last field
+    is ``state_epoch``, the newest epoch the read state is guaranteed
+    complete through (tracked with capability-free notifications; -1
+    until the first epoch completes).  The state may additionally hold
+    partial later diffs, so the tag is the conservative floor a
+    staleness bound can be enforced against.
     """
 
     def __init__(self, fresh: bool = True):
@@ -56,6 +62,10 @@ class QueryVertex(Vertex):
         self.top: Dict[Any, Any] = {}
         #: timestamp -> [(input_port, records), ...] in arrival order.
         self.pending: Dict[Timestamp, List[Tuple[int, List[Any]]]] = {}
+        #: Stale mode: newest epoch all state diffs are applied through.
+        self.state_epoch = -1
+        #: Stale mode: timestamps with a completion watermark requested.
+        self.watermarks: set = set()
 
     def _answer(self, user: Any, query_id: Any) -> Tuple[Any, Any, Any]:
         cid = self.component.get(user)
@@ -83,14 +93,33 @@ class QueryVertex(Vertex):
                 pending = self.pending[timestamp] = []
                 self.notify_at(timestamp)
             pending.append((input_port, list(records)))
-        elif input_port == 0:
+            return
+        # Stale mode: a capability-free notification per timestamp marks
+        # when the state is complete through that epoch (section 2.4 —
+        # no pointstamp held, so answering latency is unaffected).
+        if timestamp not in self.watermarks:
+            self.watermarks.add(timestamp)
+            self.notify_at(timestamp, capability=False)
+        if input_port == 0:
             self.send_by(
-                0, [self._answer(user, qid) for user, qid in records], timestamp
+                0,
+                [
+                    self._answer(user, qid) + (self.state_epoch,)
+                    for user, qid in records
+                ],
+                timestamp,
             )
         else:
             self._apply(input_port, records)
 
     def on_notify(self, timestamp: Timestamp) -> None:
+        if not self.fresh:
+            # Watermark cleanup: every diff at or before this timestamp
+            # has been applied (the frontier passed it).
+            self.watermarks.discard(timestamp)
+            if timestamp.epoch > self.state_epoch:
+                self.state_epoch = timestamp.epoch
+            return
         queries: List[Tuple[Any, Any]] = []
         for input_port, records in self.pending.pop(timestamp, ()):
             if input_port == 0:
@@ -189,6 +218,49 @@ class _ImmediateSink(Vertex):
 
     def on_recv(self, input_port: int, records: List[Any], timestamp: Timestamp) -> None:
         self.callback(timestamp, records)
+
+
+def hashtag_component_arrangements(
+    tweets_input: Stream,
+    retain: int = 4,
+) -> Tuple[Any, Any]:
+    """The Figure 1 update path rebuilt on shared arrangements.
+
+    Instead of a per-session :class:`QueryVertex` privately copying the
+    component and top-hashtag maps, the two derived collections are
+    arranged once — ``labels_arr`` keyed by user with ``(user, cid)``
+    records, ``top_arr`` keyed by component id with ``(cid, hashtag)``
+    records — and any number of serving sessions read them through a
+    :class:`repro.serve.SessionManager` with
+    :func:`component_top_resolver`.  Returns ``(labels_arr, top_arr)``.
+    """
+    tweets = Collection.from_records(tweets_input)
+    labels, top = top_hashtags_by_component(tweets)
+    labels_arr = labels.arrange_by(
+        lambda rec: rec[0], name="labels_arr", retain=retain
+    )
+    top_arr = top.arrange_by(lambda rec: rec[0], name="top_arr", retain=retain)
+    return labels_arr, top_arr
+
+
+def component_top_resolver(views: Dict[str, Any], user: Any) -> Any:
+    """Answer "top hashtag in ``user``'s component" from arrangement
+    views (the resolver a :class:`repro.serve.SessionManager` takes).
+
+    Matches :class:`QueryVertex` semantics exactly: the effective label
+    is the last-applied ``(user, cid)`` record — diff order makes that
+    the maximum surviving record under the arrangement's multiset, since
+    the incremental CC retracts old labels as it refines — and likewise
+    for the component's current top hashtag.
+    """
+    labels = views["labels_arr"].get(user)
+    if not labels:
+        return None
+    cid = labels[-1][1] if len(labels) == 1 else max(labels)[1]
+    tops = views["top_arr"].get(cid)
+    if not tops:
+        return None
+    return tops[-1][1] if len(tops) == 1 else max(tops)[1]
 
 
 def app_oracle(

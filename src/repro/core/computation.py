@@ -106,6 +106,10 @@ class Computation(TimelyRuntime):
         self.graph = DataflowGraph()
         self.vertices: Dict[Stage, Vertex] = {}
         self.inputs: List[InputHandle] = []
+        #: Serving layer (repro.serve): registered shared arrangements by
+        #: name, and the session managers notified on every publish.
+        self.arrangements: Dict[str, Any] = {}
+        self.session_managers: List[Any] = []
         self.progress: Optional[ProgressState] = None
         self.eager_delivery = eager_delivery
         self.max_eager_depth = max_eager_depth
@@ -136,6 +140,41 @@ class Computation(TimelyRuntime):
         """The reference runtime has no virtual clock; trace events are
         stamped with the logical delivery counter instead."""
         return float(self.delivered_messages + self.delivered_notifications)
+
+    # ------------------------------------------------------------------
+    # Serving layer hooks (repro.serve).
+    # ------------------------------------------------------------------
+
+    def register_arrangement(self, handle) -> None:
+        """Record a shared arrangement built by ``Stream.arrange_by``."""
+        if handle.name in self.arrangements:
+            raise ValueError(
+                "arrangement name %r is already registered" % (handle.name,)
+            )
+        self.arrangements[handle.name] = handle
+
+    def _arrangement_published(self, name: str, epoch: int) -> None:
+        """Publish hook fired by :class:`repro.serve.ArrangeVertex` after
+        applying one epoch: traces the publish and lets session managers
+        re-check parked stale queries against the new frontier."""
+        trace = self._trace
+        if trace is not None:
+            now = getattr(self, "now", None)
+            trace.emit(
+                TraceEvent(
+                    "serve",
+                    self._logical_time() if now is None else now,
+                    0.0,
+                    perf_counter(),
+                    -1,
+                    0,
+                    name,
+                    (epoch,),
+                    ("publish",),
+                )
+            )
+        for manager in self.session_managers:
+            manager._on_publish(name, epoch)
 
     def _trace_frontier(self, trace: TraceSink) -> None:
         if self.progress.version == self._trace_version:
@@ -311,6 +350,8 @@ class Computation(TimelyRuntime):
         for handle in self.inputs:
             # Section 2.3: one active pointstamp per input, first epoch.
             self.progress.update(Pointstamp(Timestamp(0), handle.stage), +1)
+        for manager in self.session_managers:
+            manager._attach(self)
         self._built = True
 
     def _check_built(self) -> None:

@@ -462,6 +462,17 @@ class Collection:
     def concat(self, other: "Collection", name: str = "inc_concat") -> "Collection":
         return Collection(self.stream.concat(other.stream, name=name))
 
+    def arrange_by(
+        self,
+        key: Callable[[Any], Any],
+        name: str = "arrange",
+        retain: int = 4,
+    ):
+        """Arrange this collection into a shared epoch-versioned index
+        keyed by ``key(record)`` (see :meth:`repro.lib.stream.Stream.
+        arrange_by`); returns a :class:`repro.serve.Arrangement`."""
+        return self.stream.arrange_by(key, name=name, retain=retain)
+
     def negate(self, name: str = "inc_negate") -> "Collection":
         return Collection(self.stream.select(lambda d: (d[0], -d[1]), name=name))
 

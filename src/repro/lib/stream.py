@@ -413,6 +413,37 @@ class Stream:
         self.connect_to(stage, 0)
         return Probe(self.computation, stage)
 
+    def arrange_by(
+        self,
+        key: Callable[[Any], Any],
+        name: str = "arrange",
+        retain: int = 4,
+        partitioner: Optional[Callable[[Any], int]] = None,
+    ):
+        """Arrange this diff stream ``(record, multiplicity)`` into a
+        shared epoch-versioned index, keyed by ``key(record)``.
+
+        The maintaining vertex applies each epoch's consolidated diffs
+        exactly once; any number of serving sessions then read the same
+        index at consistent epochs (``repro.serve``).  Returns an
+        :class:`repro.serve.Arrangement` handle for a
+        :class:`~repro.serve.SessionManager` (its probe also makes it a
+        completion oracle on its own).  The index lives on worker 0 of
+        the coordinator, like the driver-side query readers it replaces.
+        """
+        from ..serve.arrangement import Arrangement, ArrangeVertex
+
+        stage = self._add_stage(
+            name, lambda: ArrangeVertex(name, key, retain=retain), 1, 1
+        )
+        self.computation.graph.connect(
+            self.stage, self.port, stage, 0, partitioner or (lambda rec: 0)
+        )
+        probe = Stream(self.computation, stage, 0).probe(name + ".probe")
+        handle = Arrangement(self.computation, stage, name, probe)
+        self.computation.register_arrangement(handle)
+        return handle
+
     def subscribe(
         self,
         callback: Callable[[Timestamp, List[Any]], None],

@@ -22,6 +22,7 @@ from .metrics import (
     CriticalPathSummary,
     MembershipChange,
     PoolTimeline,
+    ServeClassStats,
     StageTimeline,
     WorkerTimeline,
     checkpoint_pause_stats,
@@ -30,6 +31,7 @@ from .metrics import (
     frontier_trace,
     membership_timeline,
     pool_timelines,
+    serve_latency_stats,
     stage_timelines,
     worker_timelines,
 )
@@ -43,6 +45,7 @@ __all__ = [
     "DESProfile",
     "MembershipChange",
     "PoolTimeline",
+    "ServeClassStats",
     "StageTimeline",
     "TraceEvent",
     "TraceSink",
@@ -54,6 +57,7 @@ __all__ = [
     "frontier_trace",
     "membership_timeline",
     "pool_timelines",
+    "serve_latency_stats",
     "stage_timelines",
     "timestamp_tuple",
     "worker_timelines",

@@ -118,6 +118,58 @@ def worker_timelines(events: Iterable[TraceEvent]) -> Dict[int, WorkerTimeline]:
     return out
 
 
+@dataclass
+class ServeClassStats:
+    """Per-SLO-class serving summary (from ``serve`` answer events)."""
+
+    slo: str
+    answers: int = 0
+    degraded: int = 0
+    max_staleness: int = 0
+    p50: float = 0.0
+    p99: float = 0.0
+    mean: float = 0.0
+    #: All response latencies, in delivery order (virtual seconds).
+    latencies: List[float] = None  # type: ignore[assignment]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))  # ceil
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def serve_latency_stats(events: Iterable[TraceEvent]) -> Dict[str, ServeClassStats]:
+    """Aggregate serving-layer answer latencies per SLO class.
+
+    Reads the ``serve`` events with an ``("answer", session, slo,
+    staleness, degraded)`` detail; ``dur`` carries the response latency.
+    Returns ``{"fresh": ..., "stale": ...}`` for the classes observed.
+    """
+    out: Dict[str, ServeClassStats] = {}
+    for event in events:
+        if event.kind != "serve" or not event.detail or event.detail[0] != "answer":
+            continue
+        _action, _session, slo, staleness, degraded = event.detail[:5]
+        stats = out.get(slo)
+        if stats is None:
+            stats = out[slo] = ServeClassStats(slo, latencies=[])
+        stats.answers += 1
+        if degraded:
+            stats.degraded += 1
+        if staleness > stats.max_staleness:
+            stats.max_staleness = staleness
+        stats.latencies.append(event.dur)
+    for stats in out.values():
+        ordered = sorted(stats.latencies)
+        stats.p50 = _percentile(ordered, 0.50)
+        stats.p99 = _percentile(ordered, 0.99)
+        stats.mean = sum(ordered) / len(ordered) if ordered else 0.0
+    return out
+
+
 def frontier_trace(events: Iterable[TraceEvent]) -> List[Tuple[float, Tuple]]:
     """``(t, detail)`` for every frontier-progress event, in order."""
     return [(event.t, event.detail) for event in events if event.kind == "frontier"]

@@ -58,6 +58,12 @@ Event kinds
     one optimizer pass ran over the dataflow plan before the graph
     froze (``repro.opt``); ``operator`` names the pass and ``detail``
     is ``(rewrites, stages_after, connectors_after)``.
+``serve``
+    serving-layer activity (``repro.serve``): an arrangement publish
+    (``detail`` = ``("publish",)``, ``stage`` = the arrangement name),
+    a delivered answer (``detail`` = ``("answer", session_id, slo,
+    staleness, degraded)`` with ``dur`` = response latency), or an
+    admission rejection (``detail`` = ``("reject", session_id, slo)``).
 
 The mapping onto SnailTrail's activity vocabulary lives in
 :data:`ACTIVITY_TYPES` and is documented in DESIGN.md.
@@ -86,6 +92,7 @@ ACTIVITY_TYPES = {
     "run": "span",
     "pool": "processing",
     "plan": "scheduling",
+    "serve": "processing",
 }
 
 

@@ -1080,6 +1080,10 @@ class ClusterComputation(Computation):
         ]
         for view in self.views:
             view.apply(list(initial))
+        # Serving layer: resolve arrangement readers and hook frontier
+        # advances for parked stale queries (repro.serve).
+        for manager in self.session_managers:
+            manager._attach(self)
         self.recovery = RecoveryManager(self)
         self._wrap_external_outputs()
         # The rollback target before any checkpoint exists: the freshly

@@ -27,6 +27,60 @@ from ..obs.metrics import _SPAN_KINDS
 from ..obs.trace import TraceSink
 
 
+class Hysteresis:
+    """Sustained-threshold detector: the anti-flap core of the
+    :class:`Autoscaler`, factored out so other control loops (the
+    serving layer's admission controller, :mod:`repro.serve.admission`)
+    reuse the same machinery.
+
+    ``update(value)`` returns ``"high"`` once the value has stayed at or
+    above ``high`` for ``sustain`` consecutive samples, ``"low"`` once it
+    has stayed at or below ``low`` as long, and ``None`` otherwise.  A
+    sample in the dead band between the thresholds resets both streaks.
+    After acting on a signal, call :meth:`acknowledge` to restart that
+    side's streak (the caller typically also applies a cooldown).
+    """
+
+    __slots__ = ("high", "low", "sustain", "high_streak", "low_streak")
+
+    def __init__(self, high: float, low: float, sustain: int):
+        if low >= high:
+            raise ValueError(
+                "Hysteresis low threshold (%r) must be below high (%r)"
+                % (low, high)
+            )
+        if sustain < 1:
+            raise ValueError("Hysteresis sustain must be >= 1 (got %r)" % (sustain,))
+        self.high = high
+        self.low = low
+        self.sustain = sustain
+        self.high_streak = 0
+        self.low_streak = 0
+
+    def update(self, value: float) -> Optional[str]:
+        if value >= self.high:
+            self.high_streak += 1
+            self.low_streak = 0
+        elif value <= self.low:
+            self.low_streak += 1
+            self.high_streak = 0
+        else:
+            self.high_streak = 0
+            self.low_streak = 0
+        if self.high_streak >= self.sustain:
+            return "high"
+        if self.low_streak >= self.sustain:
+            return "low"
+        return None
+
+    def acknowledge(self, side: str) -> None:
+        """Reset one side's streak after its signal was acted upon."""
+        if side == "high":
+            self.high_streak = 0
+        else:
+            self.low_streak = 0
+
+
 @dataclass
 class AutoscalePolicy:
     """Thresholds and pacing for the autoscaling control loop.
@@ -92,8 +146,11 @@ class Autoscaler:
                 % (self.policy.low_utilization, self.policy.high_utilization)
             )
         self._cursor = len(sink.events)
-        self._high_streak = 0
-        self._low_streak = 0
+        self._hysteresis = Hysteresis(
+            self.policy.high_utilization,
+            self.policy.low_utilization,
+            self.policy.sustain,
+        )
         self._cooldown_until = 0.0
         self._started = False
         #: ``(t, utilization, live_hosts)`` per sample window.
@@ -132,22 +189,14 @@ class Autoscaler:
         hosting = cluster._live_hosts()
         utilization = self._utilization(len(hosting))
         self.samples.append((now, utilization, len(hosting)))
-        if utilization >= policy.high_utilization:
-            self._high_streak += 1
-            self._low_streak = 0
-        elif utilization <= policy.low_utilization:
-            self._low_streak += 1
-            self._high_streak = 0
-        else:
-            self._high_streak = 0
-            self._low_streak = 0
+        signal = self._hysteresis.update(utilization)
         if (
             now >= self._cooldown_until
             and cluster._rescale_active is None
             and not cluster._rescale_queue
         ):
             if (
-                self._high_streak >= policy.sustain
+                signal == "high"
                 and len(hosting) < policy.max_processes
                 and cluster.total_workers // (len(hosting) + 1) >= 1
             ):
@@ -161,8 +210,8 @@ class Autoscaler:
                     }
                 )
                 self._cooldown_until = now + policy.cooldown
-                self._high_streak = 0
-            elif self._low_streak >= policy.sustain and len(hosting) > max(
+                self._hysteresis.acknowledge("high")
+            elif signal == "low" and len(hosting) > max(
                 1, policy.min_processes
             ):
                 # Shed the highest-numbered removable host; process 0
@@ -181,5 +230,5 @@ class Autoscaler:
                         }
                     )
                     self._cooldown_until = now + policy.cooldown
-                    self._low_streak = 0
+                    self._hysteresis.acknowledge("low")
         self._arm()

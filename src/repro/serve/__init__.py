@@ -1,0 +1,41 @@
+"""`repro.serve` — multi-tenant interactive serving over shared
+arrangements.
+
+The serving layer answers interactive queries against live-maintained
+dataflow state (the Naiad Figure 8 / §6.4 scenario) without paying
+per-session state: a :class:`SharedArrangement` is one operator's
+epoch-versioned index, written once per epoch by its maintaining
+:class:`ArrangeVertex` (built with ``Stream.arrange_by``) and read by
+any number of sessions at consistent epochs; the :class:`SessionManager`
+multiplexes thousands of lightweight sessions over one serving vertex
+per worker, with per-session ``fresh`` / ``stale(bound)`` SLO classes
+and optional admission control (:class:`AdmissionPolicy`) that degrades
+or sheds before the update path starves.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, AdmissionVerdict
+from .arrangement import (
+    Arrangement,
+    ArrangementView,
+    ArrangeVertex,
+    CompactedEpochError,
+    SharedArrangement,
+    snapshot_views,
+)
+from .session import Answer, ServeVertex, Session, SessionManager
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionVerdict",
+    "Answer",
+    "Arrangement",
+    "ArrangementView",
+    "ArrangeVertex",
+    "CompactedEpochError",
+    "ServeVertex",
+    "Session",
+    "SessionManager",
+    "SharedArrangement",
+    "snapshot_views",
+]

@@ -1,0 +1,161 @@
+"""Admission control for the serving layer (`repro.serve`).
+
+Protects the update path from query bursts: when the outstanding-query
+depth or the publish-frontier lag stays beyond its threshold, the
+controller *degrades* fresh queries to ``stale(degrade_bound)`` (they
+stop riding the dataflow and read the newest compacted snapshot), and
+under sustained overload it *sheds* (rejects) new queries outright.
+Signals feed the same :class:`~repro.runtime.rescale.Hysteresis`
+machinery the :class:`~repro.runtime.rescale.Autoscaler` uses, plus a
+virtual-time cooldown, so one burst sample never flips the mode and
+recovery is sticky rather than oscillating.
+
+The controller is evaluated synchronously at submit time (no sampler
+thread): every ``submit()`` updates the detectors with the current
+depth and lag, so the mode tracks the offered load exactly as fast as
+queries arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from ..runtime.rescale import Hysteresis
+
+
+class AdmissionVerdict(NamedTuple):
+    #: "admit" | "degrade" | "reject"
+    action: str
+    #: Staleness bound applied when ``action == "degrade"``.
+    bound: Optional[int]
+
+
+@dataclass
+class AdmissionPolicy:
+    """Thresholds and pacing for serving-layer admission control.
+
+    Depth thresholds count outstanding queries (submitted, not yet
+    answered or rejected); lag thresholds count epochs the slowest
+    arrangement trails the injected input frontier.
+    """
+
+    #: Degrade fresh -> stale once depth sustains at or above this.
+    degrade_depth: int = 64
+    #: Reject once depth sustains at or above this (> degrade_depth).
+    shed_depth: int = 256
+    #: Leave degrade/shed once depth sustains at or below this.
+    recover_depth: int = 16
+    #: Degrade once the publish frontier sustains this many epochs behind.
+    lag_degrade: int = 8
+    #: Lag recovery watermark (< lag_degrade).
+    lag_recover: int = 2
+    #: Consecutive out-of-band submissions before changing mode.
+    sustain: int = 3
+    #: Virtual time a new mode is held before de-escalation is allowed.
+    cooldown: float = 0.002
+    #: Bound (epochs) granted to degraded fresh queries.
+    degrade_bound: int = 8
+
+    def validate(self) -> None:
+        if not (self.recover_depth < self.degrade_depth < self.shed_depth):
+            raise ValueError(
+                "AdmissionPolicy depths must order recover (%r) < degrade "
+                "(%r) < shed (%r)"
+                % (self.recover_depth, self.degrade_depth, self.shed_depth)
+            )
+        if self.lag_recover >= self.lag_degrade:
+            raise ValueError(
+                "AdmissionPolicy.lag_recover (%r) must be below lag_degrade (%r)"
+                % (self.lag_recover, self.lag_degrade)
+            )
+        if self.degrade_bound < 0:
+            raise ValueError(
+                "AdmissionPolicy.degrade_bound must be >= 0 (got %r)"
+                % (self.degrade_bound,)
+            )
+
+
+class AdmissionController:
+    """Depth- and staleness-driven degrade/shed state machine.
+
+    Modes escalate ``normal -> degrade -> shed`` on sustained high
+    signals and de-escalate one step at a time on sustained low signals
+    after the cooldown.  In ``degrade`` mode fresh queries are served as
+    ``stale(degrade_bound)``; in ``shed`` mode new queries are rejected.
+    Stale-class queries are never degraded (they are already off the
+    update path) but are shed like any other under full overload.
+    """
+
+    def __init__(self, manager, policy: Optional[AdmissionPolicy] = None):
+        self.manager = manager
+        self.policy = policy or AdmissionPolicy()
+        self.policy.validate()
+        p = self.policy
+        self._depth_degrade = Hysteresis(p.degrade_depth, p.recover_depth, p.sustain)
+        self._depth_shed = Hysteresis(p.shed_depth, p.recover_depth, p.sustain)
+        self._lag = Hysteresis(p.lag_degrade, p.lag_recover, p.sustain)
+        self.mode = "normal"
+        self._mode_since = 0.0
+        #: One dict per mode transition: kind, at, depth, lag.
+        self.transitions: List[Dict[str, Any]] = []
+        self.admitted = 0
+        self.degraded = 0
+        self.shed = 0
+
+    def _set_mode(self, mode: str, now: float, depth: int, lag: int) -> None:
+        if mode == self.mode:
+            return
+        self.transitions.append(
+            {"mode": mode, "from": self.mode, "at": now, "depth": depth, "lag": lag}
+        )
+        self.mode = mode
+        self._mode_since = now
+
+    def decide(self, session) -> AdmissionVerdict:
+        """Update the detectors with the current load and classify one
+        submission under the (possibly newly changed) mode."""
+        manager = self.manager
+        now = manager.now
+        depth = manager.outstanding
+        lag = manager.staleness_lag()
+        shed_signal = self._depth_shed.update(depth)
+        degrade_signal = self._depth_degrade.update(depth)
+        lag_signal = self._lag.update(lag)
+
+        if shed_signal == "high" and self.mode != "shed":
+            self._set_mode("shed", now, depth, lag)
+            self._depth_shed.acknowledge("high")
+        elif (
+            (degrade_signal == "high" or lag_signal == "high")
+            and self.mode == "normal"
+        ):
+            self._set_mode("degrade", now, depth, lag)
+            self._depth_degrade.acknowledge("high")
+            self._lag.acknowledge("high")
+        elif (
+            self.mode != "normal"
+            and degrade_signal == "low"
+            and lag_signal != "high"
+            and now >= self._mode_since + self.policy.cooldown
+        ):
+            # De-escalate one step at a time: shed -> degrade -> normal.
+            self._set_mode(
+                "degrade" if self.mode == "shed" else "normal", now, depth, lag
+            )
+            self._depth_degrade.acknowledge("low")
+            self._depth_shed.acknowledge("low")
+
+        if self.mode == "shed":
+            self.shed += 1
+            return AdmissionVerdict("reject", None)
+        if self.mode == "degrade" and session.slo == "fresh":
+            self.degraded += 1
+            return AdmissionVerdict("degrade", self.policy.degrade_bound)
+        self.admitted += 1
+        return AdmissionVerdict("admit", None)
+
+    def __repr__(self) -> str:
+        return "AdmissionController(mode=%r, %d admitted, %d degraded, %d shed)" % (
+            self.mode, self.admitted, self.degraded, self.shed,
+        )

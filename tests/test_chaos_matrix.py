@@ -118,6 +118,77 @@ def test_rescale_matrix_outputs_bit_identical(event, backend, plan):
         assert not comp.recovery.failures, (event, backend, plan, frac)
 
 
+def _serving_run(ft, kill=None, rescale=None, shape=(2, 2)):
+    """The Figure 8 serving workload with mixed-SLO open sessions."""
+    from repro.runtime import ClusterComputation
+    from tests.test_serve import fig8_workload, serve_run
+
+    tweet_epochs, query_epochs = fig8_workload(epochs=8, sessions=20)
+    fresh_half = [q[:10] for q in query_epochs]
+    stale_half = [q[10:] for q in query_epochs]
+    comp = ClusterComputation(shape[0], shape[1], fault_tolerance=ft)
+    manager, _ = serve_run(
+        comp,
+        tweet_epochs,
+        [f + s for f, s in zip(fresh_half, stale_half)],
+        slo="mixed",
+        bound=3,
+        kill=kill,
+        rescale=rescale,
+    )
+    fresh = sorted(
+        (a.query_id, a.user, a.value)
+        for a in manager.answers
+        if a.slo == "fresh"
+    )
+    stale = [a for a in manager.answers if a.slo == "stale"]
+    return fresh, stale, comp
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("mode", CHECKPOINT_MODES)
+def test_kill_matrix_serving_case(mode):
+    # Open query sessions across a mid-run kill: fresh answers are
+    # bit-identical to the failure-free run, stale answers never exceed
+    # their measured-staleness bound.
+    def ft():
+        out = make_ft("checkpoint")
+        out.checkpoint_mode = mode
+        return out
+
+    base_fresh, base_stale, comp0 = _serving_run(ft())
+    duration = comp0.sim.now
+    for frac in (0.3, 0.6):
+        fresh, stale, comp = _serving_run(ft(), kill=(1, duration * frac))
+        assert len(comp.recovery.failures) == 1
+        assert fresh == base_fresh, (mode, frac)
+        assert len(stale) == len(base_stale)
+        assert all(answer.staleness <= 3 for answer in stale), (mode, frac)
+
+
+@pytest.mark.chaos
+def test_rescale_matrix_serving_case():
+    # Live membership changes with open sessions: same invariants, and
+    # planned changes never escalate to a failure.
+    def ft():
+        out = make_ft("checkpoint", policy="reassign")
+        out.checkpoint_mode = "async"
+        return out
+
+    base_fresh, base_stale, comp0 = _serving_run(ft(), shape=(3, 2))
+    duration = comp0.sim.now
+    for ops in (
+        [("add", duration * 0.4)],
+        [("remove", 2, duration * 0.4)],
+        [("add", duration * 0.3), ("remove", 1, duration * 0.6)],
+    ):
+        fresh, stale, comp = _serving_run(ft(), rescale=ops, shape=(3, 2))
+        assert fresh == base_fresh, ops
+        assert all(answer.staleness <= 3 for answer in stale), ops
+        assert not comp.recovery.failures, ops
+        assert len(comp.rescales) == len(ops)
+
+
 @pytest.mark.chaos
 @pytest.mark.parametrize("mode", CHECKPOINT_MODES)
 def test_kill_matrix_iteration_case(mode):

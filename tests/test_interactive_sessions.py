@@ -1,0 +1,69 @@
+"""The interactive-sessions example, run under pytest.
+
+``examples/interactive_sessions.py`` serves 120 mixed-SLO sessions over
+shared arrangements and drives admission control through a flash crowd.
+This wrapper pins the example's invariants in the suite: the burst
+escalates normal -> degrade -> shed and steps back down to normal, the
+steady phases are untouched by the controller, degraded answers honour
+the degraded bound, and rejected queries are never answered late.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+)
+
+import interactive_sessions  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def example_run():
+    return interactive_sessions.run()
+
+
+def test_burst_escalates_and_recovers(example_run):
+    manager, _comp = example_run
+    modes = [t["mode"] for t in manager.admission.transitions]
+    # Exactly one escalation episode, confined to the burst.
+    assert modes == ["degrade", "shed", "degrade", "normal"], modes
+    assert manager.admission.mode == "normal"
+    # Escalation was depth-driven and the burst really was backed up.
+    shed_transition = manager.admission.transitions[1]
+    assert shed_transition["depth"] >= interactive_sessions.POLICY.shed_depth
+    assert shed_transition["lag"] >= interactive_sessions.POLICY.lag_recover
+
+
+def test_degraded_answers_honour_their_bound(example_run):
+    manager, _comp = example_run
+    degraded = [a for a in manager.answers if a.degraded]
+    assert degraded, "the burst must degrade some fresh arrivals"
+    assert all(a.slo == "stale" for a in degraded)
+    assert all(
+        a.staleness <= interactive_sessions.POLICY.degrade_bound for a in degraded
+    )
+    # Un-degraded answers keep their session's own class contract.
+    for answer in manager.answers:
+        if answer.degraded:
+            continue
+        session = manager.sessions[answer.session_id]
+        assert answer.slo == session.slo
+        if answer.slo == "fresh":
+            assert answer.staleness == 0
+        else:
+            assert answer.staleness <= session.bound
+
+
+def test_rejected_queries_are_never_answered(example_run):
+    manager, _comp = example_run
+    assert manager.rejections, "the burst must shed some queries"
+    rejected = {query_id for query_id, _sid, _at in manager.rejections}
+    assert rejected.isdisjoint(a.query_id for a in manager.answers)
+    # Everything else completed: nothing left parked or in flight.
+    assert manager.outstanding == 0
+    answered = len(manager.answers)
+    submitted = sum(s.submitted for s in manager.sessions.values())
+    assert answered + len(manager.rejections) == submitted

@@ -62,6 +62,8 @@ from repro.lib.operators import (
 )
 from repro.lib.pregel import PregelVertex, _AggregatorVertex
 from repro.opt.fused import FusedVertex
+from repro.serve.arrangement import ArrangeVertex
+from repro.serve.session import ServeVertex
 
 
 def _make_fused():
@@ -127,6 +129,12 @@ CONSTRUCTORS = {
     _SfcRankVertex: lambda: _SfcRankVertex(2),
     MultiSourceBfsVertex: MultiSourceBfsVertex,
     FusedVertex: _make_fused,
+    # The serving layer: the arrangement key and the reader list
+    # (vertex references) are config; the arrangement itself is state
+    # and rides checkpoints.  The serve vertex's only config is its
+    # driver-side manager.
+    ArrangeVertex: lambda: ArrangeVertex("arr", lambda r: r),
+    ServeVertex: lambda: ServeVertex(None),
 }
 
 #: Abstract bases never instantiated by the library builders.
