@@ -34,8 +34,12 @@ def make_stream():
     return epochs
 
 
-def run(kill=None):
+def run(kill=None, crash=None, supervise=None):
     """The Figure 1 app under async checkpointing; optionally kill.
+
+    ``kill`` is the oracle failure (the cluster is told immediately);
+    ``crash`` is a *silent* failure that only a ``supervise``-attached
+    heartbeat detector can notice (see ``repro.runtime.supervisor``).
 
     Returns ``(responses, comp)`` where ``responses`` maps each query
     epoch to the sorted ``(query_id, user, hashtag)`` answers.
@@ -60,9 +64,14 @@ def run(kill=None):
         fresh=True,
     )
     comp.build()
+    if supervise is not None:
+        comp.attach_supervisor(None if supervise is True else supervise)
     if kill is not None:
         process, at = kill
         comp.kill_process(process, at=at)
+    if crash is not None:
+        process, at = crash
+        comp.crash_process(process, at=at)
     for batch, queries in make_stream():
         tweets_in.on_next(batch)
         queries_in.on_next(queries)

@@ -20,6 +20,8 @@ Three layers, all optional and zero-overhead when unused:
 from .metrics import (
     CheckpointPauseStats,
     CriticalPathSummary,
+    DetectionIncident,
+    DetectionStats,
     MembershipChange,
     PoolTimeline,
     ServeClassStats,
@@ -27,6 +29,7 @@ from .metrics import (
     WorkerTimeline,
     checkpoint_pause_stats,
     critical_path,
+    detection_stats,
     event_counts,
     frontier_trace,
     membership_timeline,
@@ -43,6 +46,8 @@ __all__ = [
     "CheckpointPauseStats",
     "CriticalPathSummary",
     "DESProfile",
+    "DetectionIncident",
+    "DetectionStats",
     "MembershipChange",
     "PoolTimeline",
     "ServeClassStats",
@@ -53,6 +58,7 @@ __all__ = [
     "checkpoint_pause_stats",
     "collect_profile",
     "critical_path",
+    "detection_stats",
     "event_counts",
     "frontier_trace",
     "membership_timeline",

@@ -21,7 +21,7 @@ dispatched at its finish time.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .trace import TraceEvent
@@ -226,6 +226,101 @@ def membership_timeline(
             )
         )
     return out
+
+
+@dataclass
+class DetectionIncident:
+    """One silent crash and its supervised detection/recovery, joined
+    from the ``detect`` and ``failure`` trace events."""
+
+    #: The crashed process.
+    process: int
+    #: Virtual time the silent crash was injected.
+    crashed_at: float
+    #: Virtual time the detector crossed its phi threshold (NaN if the
+    #: crash was never suspected — the run hung or is still going).
+    suspected_at: float = float("nan")
+    #: Virtual time recovery completed (the failed workers' ready
+    #: time); NaN if no recovery ran.
+    recovered_at: float = float("nan")
+    #: Phi at suspicion (-1.0 when phi was infinite).
+    phi: float = float("nan")
+
+    @property
+    def mttd(self) -> float:
+        """Mean-time-to-detect contribution: suspicion minus crash."""
+        return self.suspected_at - self.crashed_at
+
+    @property
+    def mttr(self) -> float:
+        """Mean-time-to-recover contribution: recovery-complete minus
+        crash."""
+        return self.recovered_at - self.crashed_at
+
+
+@dataclass
+class DetectionStats:
+    """Failure-detection summary of a traced run (self-healing PR)."""
+
+    #: One entry per silent crash, in injection order.
+    incidents: List[DetectionIncident] = field(default_factory=list)
+    #: Stale messages discarded by generation fencing, by drop reason
+    #: ("stale-data", "stale-progress", "stale-heartbeat", ...).
+    drops: Dict[str, int] = field(default_factory=dict)
+    #: Processes evicted by the crash-loop quarantine.
+    quarantined: Tuple[int, ...] = ()
+
+    @property
+    def mttd(self) -> float:
+        """Mean time-to-detect over incidents that were suspected."""
+        values = [i.mttd for i in self.incidents if i.mttd == i.mttd]
+        return sum(values) / len(values) if values else float("nan")
+
+    @property
+    def mttr(self) -> float:
+        """Mean time-to-recover over incidents that recovered."""
+        values = [i.mttr for i in self.incidents if i.mttr == i.mttr]
+        return sum(values) / len(values) if values else float("nan")
+
+
+def detection_stats(events: Iterable[TraceEvent]) -> DetectionStats:
+    """Join ``detect`` and ``failure`` events into per-crash incidents.
+
+    A crash pairs with the first subsequent suspicion of the same
+    process, which pairs with the first subsequent recovery (the
+    ``failure`` event's span end is the workers' ready time).  Oracle
+    kills (no preceding ``crash`` event) contribute nothing here — the
+    stats isolate what the *detector* did.
+    """
+    stats = DetectionStats()
+    open_by_process: Dict[int, DetectionIncident] = {}
+    suspected: Dict[int, DetectionIncident] = {}
+    quarantined: List[int] = []
+    for event in events:
+        if event.kind == "detect":
+            if event.stage == "crash":
+                incident = DetectionIncident(
+                    process=event.process, crashed_at=event.t
+                )
+                stats.incidents.append(incident)
+                open_by_process[event.process] = incident
+            elif event.stage == "suspect":
+                incident = open_by_process.pop(event.process, None)
+                if incident is not None:
+                    incident.suspected_at = event.t
+                    incident.phi = float(event.detail[0])
+                    suspected[event.process] = incident
+            elif event.stage == "drop":
+                reason = event.detail[0]
+                stats.drops[reason] = stats.drops.get(reason, 0) + 1
+            elif event.stage == "quarantine":
+                quarantined.append(event.process)
+        elif event.kind == "failure":
+            incident = suspected.pop(event.process, None)
+            if incident is not None:
+                incident.recovered_at = event.finish
+    stats.quarantined = tuple(quarantined)
+    return stats
 
 
 @dataclass

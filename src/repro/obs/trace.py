@@ -64,6 +64,16 @@ Event kinds
     a delivered answer (``detail`` = ``("answer", session_id, slo,
     staleness, degraded)`` with ``dur`` = response latency), or an
     admission rejection (``detail`` = ``("reject", session_id, slo)``).
+``detect``
+    failure detection and fencing (``repro.runtime.supervisor``): the
+    ``stage`` field carries the phase — ``"crash"`` (a silent,
+    unannounced process crash was injected), ``"suspect"`` (the
+    adaptive detector crossed its phi threshold; ``detail`` =
+    ``(phi, heartbeats_seen, deaths_in_window)``), ``"fence"`` (the
+    incarnation number advanced; ``detail`` = ``(settled_progress,
+    new_generation)``), ``"quarantine"`` (a crash-looping process was
+    evicted), or ``"drop"`` (a fenced incarnation's stale message was
+    discarded; ``detail`` = ``(reason, src, generation)``).
 
 The mapping onto SnailTrail's activity vocabulary lives in
 :data:`ACTIVITY_TYPES` and is documented in DESIGN.md.
@@ -93,6 +103,7 @@ ACTIVITY_TYPES = {
     "pool": "processing",
     "plan": "scheduling",
     "serve": "processing",
+    "detect": "barrier",
 }
 
 

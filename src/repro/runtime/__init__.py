@@ -11,6 +11,7 @@ from .checkpoint import RECOVERY_POLICIES, RecoveryManager
 from .cluster import ClusterComputation, CostModel, FaultTolerance
 from .protocol import PROTOCOL_MODES, UPDATE_WIRE_BYTES
 from .rescale import AutoscalePolicy, Autoscaler
+from .supervisor import PhiAccrualDetector, Supervisor, SupervisorConfig
 from .synthetic import SyntheticRecords, batch_bytes, record_count
 
 __all__ = [
@@ -22,8 +23,11 @@ __all__ = [
     "CostModel",
     "FaultTolerance",
     "PROTOCOL_MODES",
+    "PhiAccrualDetector",
     "RECOVERY_POLICIES",
     "RecoveryManager",
+    "Supervisor",
+    "SupervisorConfig",
     "SyntheticRecords",
     "UPDATE_WIRE_BYTES",
     "batch_bytes",

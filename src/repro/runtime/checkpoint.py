@@ -190,9 +190,13 @@ class RecoveryManager:
         self._schedule_probe(at=next_time)
 
     def quiescent(self) -> bool:
-        """No message in flight, no worker with undelivered work."""
+        """No message in flight, no worker with undelivered work.
+
+        Detector heartbeats are excluded: they flow as long as the
+        computation does, and a barrier that waited for them would
+        never fire."""
         cluster = self.cluster
-        if cluster.network.in_flight:
+        if cluster.network.data_in_flight:
             return False
         for worker in cluster.workers:
             if worker.queue or worker._scheduled or worker._commit_pending:
@@ -338,9 +342,13 @@ class RecoveryManager:
         a restart needs no rollback at all (satellite: skip the barrier
         when the restore set is empty)."""
         cluster = self.cluster
-        if cluster.network.in_flight:
+        if cluster.network.data_in_flight:
             return False
         if cluster.nodes[process].buffer:
+            return False
+        if any(w.dead for w in cluster.workers if w.process == process):
+            # A silent crash froze the hosted workers where they stood:
+            # their queues and claims are lost, not idle — never skip.
             return False
         dead = [
             w for w in cluster.workers if w.process == process and not w.dead
@@ -388,7 +396,12 @@ class RecoveryManager:
             return False  # states not comparable -> be conservative
         return True
 
-    def fail_process(self, process: int) -> None:
+    def fail_process(
+        self,
+        process: int,
+        policy: Optional[str] = None,
+        restart_delay: Optional[float] = None,
+    ) -> None:
         """Kill a process now: lose its workers, recover.
 
         Recovery escalates through three tiers: **skip** (the restore
@@ -402,16 +415,42 @@ class RecoveryManager:
         (same worker placement); ``"reassign"`` spreads its workers
         round-robin over the survivors (the dead process stays dead, as
         under Naiad's vertex-reassignment recovery).
+
+        ``policy`` / ``restart_delay`` override the configured placement
+        and delay for this one failure (the supervisor's quarantine and
+        exponential-backoff paths); both default to the
+        :class:`FaultTolerance` settings.
+
+        The failed incarnation is *fenced* first: its generation number
+        advances and its outstanding progress copies settle, so any
+        traffic it still has in flight — or keeps emitting, if it was
+        falsely suspected — is provably stale and discarded.  The
+        oracle path (:meth:`ClusterComputation.kill_process`) and the
+        supervisor's detection path share this fence, which is what
+        keeps their outputs bit-identical.
         """
         cluster = self.cluster
         if process in self.dead_processes:
             return  # already dead; nothing new to lose
         if process in cluster._removed_processes:
             return  # already left the cluster; it hosts nothing
+        if policy is not None and policy not in RECOVERY_POLICIES:
+            raise ValueError(
+                "fail_process() policy must be one of %r (got %r)"
+                % (RECOVERY_POLICIES, policy)
+            )
+        if restart_delay is not None and restart_delay < 0:
+            raise ValueError(
+                "fail_process() restart_delay must be >= 0 (got %r)"
+                % (restart_delay,)
+            )
+        cluster._fence_process(process)
         now = cluster.sim.now
         ft = cluster.fault_tolerance
         snapshot = self.snapshot or self.initial
-        policy = ft.recovery
+        if policy is None:
+            policy = ft.recovery
+        delay = ft.restart_delay if restart_delay is None else restart_delay
         survivors = [
             p
             for p in cluster.live_processes
@@ -423,7 +462,7 @@ class RecoveryManager:
             # state intact; no rollback barrier, no replay, survivors
             # untouched.  (Only sound under "restart" — "reassign" must
             # still migrate the workers off the dead process.)
-            ready = now + ft.restart_delay
+            ready = now + delay
             for worker in cluster.workers:
                 if worker.process == process:
                     worker.busy_until = max(worker.busy_until, ready)
@@ -452,6 +491,7 @@ class RecoveryManager:
                     "replayed_entries": 0,
                 }
             )
+            self._notify_sessions()
             return
         ac = cluster.async_ckpt
         if ac is not None and survivors and not ac.replay_dedup:
@@ -463,7 +503,7 @@ class RecoveryManager:
             # (Bail to global recovery while a previous partial replay's
             # dedup ledgers are still draining — overlapping replays
             # would not be distinguishable.)
-            ready = now + ft.restart_delay
+            ready = now + delay
             if ft.mode in ("checkpoint", "logging") and self.snapshot is not None:
                 hosted = sum(
                     1 for owner in cluster._worker_process if owner == process
@@ -518,6 +558,7 @@ class RecoveryManager:
                 }
             )
             self.pump()
+            self._notify_sessions()
             return
         if policy == "reassign" and survivors:
             self.dead_processes.add(process)
@@ -530,7 +571,7 @@ class RecoveryManager:
             cluster._worker_process = mapping
         else:
             policy = "restart"
-        ready = now + ft.restart_delay
+        ready = now + delay
         if ft.mode in ("checkpoint", "logging") and self.snapshot is not None:
             hosted: Dict[int, int] = {}
             for owner in cluster._worker_process:
@@ -570,6 +611,13 @@ class RecoveryManager:
             }
         )
         self.pump()
+        self._notify_sessions()
+
+    def _notify_sessions(self) -> None:
+        """Tell the serving layer recovery ran: parked queries recheck
+        immediately instead of waiting for the next frontier advance."""
+        for manager in self.cluster.session_managers:
+            manager.on_recovery()
 
     def rollback_to(self, snapshot: Dict[str, Any]) -> None:
         """Public restore(): roll back to ``snapshot`` and replay the
@@ -599,6 +647,11 @@ class RecoveryManager:
                 )
             )
         cluster.network.teardown_inflight()
+        if cluster._progress_fence is not None:
+            # The torn-down copies' fence wrappers will never run, so
+            # their entries would leak — and a later settle would
+            # re-apply pre-rollback updates to the restored views.
+            cluster._progress_fence.clear()
         cluster._rebuild_workers(busy_until=ready)
         cluster._restore_snapshot(snapshot)
         self.released = snapshot["journal_released"]

@@ -275,7 +275,33 @@ class _Worker:
         sent: float = -1.0,
         tag: int = 0,
         key: Optional[int] = None,
+        fence: Optional[Tuple[int, int]] = None,
     ) -> None:
+        if fence is not None:
+            # Generation fencing: the sender stamped its (process,
+            # incarnation); a mismatch means the sender was fenced while
+            # this message was in flight — it is provably stale and is
+            # discarded before any journaling or delivery side effect.
+            src_process, generation = fence
+            cluster = self.cluster
+            if cluster.generations[src_process] != generation:
+                cluster.fenced_drops += 1
+                trace = cluster._trace
+                if trace is not None:
+                    trace.emit(
+                        TraceEvent(
+                            "detect",
+                            cluster.sim.now,
+                            0.0,
+                            perf_counter(),
+                            self.index,
+                            self.process,
+                            "drop",
+                            timestamp_tuple(timestamp),
+                            ("stale-data", src_process, generation),
+                        )
+                    )
+                return
         if self.dead:
             return  # message addressed to a lost worker; replay covers it
         ac = self.cluster.async_ckpt
@@ -756,9 +782,10 @@ class _Worker:
                     cluster.worker_process(dest),
                     size,
                     "data",
-                    lambda w=dest_worker, c=connector, b=batch, t=out_time, s=size, i=self.index, n=now, g=tag, k=key: (
-                        w.enqueue_message(c, b, t, s, i, n, g, k)
-                    ),
+                    lambda w=dest_worker, c=connector, b=batch, t=out_time, s=size, i=self.index, n=now, g=tag, k=key, f=(
+                        self.process,
+                        cluster.generations[self.process],
+                    ): (w.enqueue_message(c, b, t, s, i, n, g, k, f)),
                 )
         if cluster._proj_table:
             updates = cluster._project_updates(updates)
@@ -773,6 +800,92 @@ class _Worker:
             or bool(self.pending_notifications)
             or bool(self.pending_cleanups)
         )
+
+
+class _ProgressFence:
+    """Generation fencing for the progress plane.
+
+    Every in-flight progress-protocol copy (node broadcast, central
+    accumulate, central deliver, controller broadcast) registers here
+    before entering the network and unregisters as it delivers.  When a
+    process is fenced, :meth:`settle` applies every outstanding copy
+    touching it *synchronously*, in send order — equivalent to the
+    network having been instantaneously fast for exactly those copies
+    (progress updates commute, and occurrence accounting is exact
+    either way) — so all views agree on the fenced incarnation's final
+    effects and no accumulator hold waits on a dead peer forever.  The
+    network copy of a settled entry that straggles in later finds its
+    key gone and is dropped with a ``detect``/``drop`` trace: that is
+    the deterministic discard of zombie progress traffic.
+    """
+
+    __slots__ = ("cluster", "_entries", "_next_key", "dropped")
+
+    def __init__(self, cluster: "ClusterComputation"):
+        self.cluster = cluster
+        self._entries: Dict[int, Tuple[int, int, Callable[[], None]]] = {}
+        self._next_key = 0
+        #: Stale progress copies discarded after their entry settled.
+        self.dropped = 0
+
+    def register(
+        self, src: int, dst: int, deliver: Callable[[], None]
+    ) -> Callable[[], None]:
+        key = self._next_key
+        self._next_key += 1
+        self._entries[key] = (src, dst, deliver)
+
+        def wrapped() -> None:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                # Settled at fence time (or cleared by a global
+                # rollback): this network copy is provably stale.
+                self.dropped += 1
+                cluster = self.cluster
+                cluster.fenced_drops += 1
+                trace = cluster._trace
+                if trace is not None:
+                    trace.emit(
+                        TraceEvent(
+                            "detect",
+                            cluster.sim.now,
+                            0.0,
+                            perf_counter(),
+                            -1,
+                            dst,
+                            "drop",
+                            (),
+                            ("stale-progress", src, cluster.generations[src]),
+                        )
+                    )
+                return
+            entry[2]()
+
+        return wrapped
+
+    def settle(self, process: int) -> int:
+        """Apply every outstanding copy from or to ``process`` now, in
+        send order; returns how many were settled."""
+        keys = sorted(
+            key
+            for key, (src, dst, _) in self._entries.items()
+            if src == process or dst == process
+        )
+        for key in keys:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                # A settled deliver can trigger fresh broadcasts that
+                # register (and even settle) new entries; the snapshot
+                # of keys above keeps this loop over the original set.
+                entry[2]()
+        return len(keys)
+
+    def clear(self) -> int:
+        """Forget every entry (global rollback tore the network down:
+        the guarded copies will never run, so nothing can double-apply)."""
+        count = len(self._entries)
+        self._entries.clear()
+        return count
 
 
 class ClusterComputation(Computation):
@@ -921,6 +1034,18 @@ class ClusterComputation(Computation):
         #: only a planned ``remove_process`` departure leaves the list.
         self.live_processes: List[int] = list(range(num_processes))
         self._removed_processes: set = set()
+        #: Per-process incarnation numbers.  Every remote data message
+        #: and progress-protocol copy is stamped with its sender's
+        #: current generation; fencing a process (advancing its entry)
+        #: makes all traffic its old incarnation still has in flight
+        #: provably stale, discarded deterministically at delivery.
+        self.generations: List[int] = [0] * num_processes
+        #: Stale data/progress messages discarded by generation fencing.
+        self.fenced_drops = 0
+        #: Silent crashes injected via :meth:`crash_process` — the
+        #: coordinator is *not* told; only a supervisor can notice.
+        self.crashes: List[Dict[str, Any]] = []
+        self._progress_fence: Optional[_ProgressFence] = None
         #: Processes added at runtime; their views alias process 0's
         #: object (see :meth:`_execute_add`).
         self._mirror_processes: List[int] = []
@@ -932,6 +1057,9 @@ class ClusterComputation(Computation):
         self._rescale_active: Optional[Dict[str, Any]] = None
         self._rescale_pump_token = 0
         self.recovery: Optional[RecoveryManager] = None
+        #: The attached self-healing supervisor, if any
+        #: (:meth:`attach_supervisor`).
+        self.supervisor = None
         #: DES self-profiling counters (see repro.obs.profile).
         self.batch_bytes_calls = 0
         self.stage_cost_calls = 0
@@ -1084,6 +1212,14 @@ class ClusterComputation(Computation):
         # advances for parked stale queries (repro.serve).
         for manager in self.session_managers:
             manager._attach(self)
+        # Generation fencing for the progress plane: every in-flight
+        # protocol copy registers here so fencing a process can settle
+        # (or a stale wrapper can drop) its outstanding updates.
+        self._progress_fence = _ProgressFence(self)
+        for node in self.nodes:
+            node.fence = self._progress_fence
+        if self.central is not None:
+            self.central.fence = self._progress_fence
         self.recovery = RecoveryManager(self)
         self._wrap_external_outputs()
         # The rollback target before any checkpoint exists: the freshly
@@ -1414,11 +1550,13 @@ class ClusterComputation(Computation):
     def _controller_broadcast(self, updates: List[Tuple[Pointstamp, int]]) -> None:
         """Low-volume control-plane updates from the controller (proc 0)."""
         size = wire_size(updates)
+        fence = self._progress_fence
         for dst in list(self.live_processes):
             node = self.nodes[dst]
-            self.network.send(
-                0, dst, size, "progress", lambda n=node: n.receive(updates, ())
-            )
+            deliver = lambda n=node: n.receive(updates, ())
+            if fence is not None:
+                deliver = fence.register(0, dst, deliver)
+            self.network.send(0, dst, size, "progress", deliver)
 
     # ------------------------------------------------------------------
     # Execution.
@@ -1705,6 +1843,121 @@ class ClusterComputation(Computation):
             self.sim.schedule_at(at, lambda: self.recovery.fail_process(process))
 
     # ------------------------------------------------------------------
+    # Self-healing: silent crashes, generation fencing and supervised
+    # recovery (repro.runtime.supervisor).
+    # ------------------------------------------------------------------
+
+    def crash_process(self, process: int, at: Optional[float] = None) -> None:
+        """Crash a process *silently* (now, or at virtual time ``at``).
+
+        Unlike :meth:`kill_process`, nothing is told: the hosted workers
+        simply stop executing (their scheduled events become no-ops) and
+        no recovery runs.  The cluster will hang on the lost work unless
+        a :class:`repro.runtime.supervisor.Supervisor` notices the
+        missing heartbeats, fences the dead incarnation, and drives
+        recovery itself.
+        """
+        self._check_built()
+        if not 0 <= process < self.num_processes:
+            raise ValueError(
+                "process %d out of range (cluster has %d)"
+                % (process, self.num_processes)
+            )
+        if process == 0:
+            raise ValueError(
+                "process 0 hosts the controller and the supervisor and "
+                "cannot crash silently"
+            )
+        if at is None:
+            self._check_not_in_event("crash_process")
+            self._crash_now(process)
+        else:
+            self.sim.schedule_at(at, lambda: self._crash_now(process))
+
+    def _crash_now(self, process: int) -> None:
+        if process in self._removed_processes:
+            return
+        if self.recovery is not None and process in self.recovery.dead_processes:
+            return
+        hosted = [w for w in self.workers if w.process == process and not w.dead]
+        if not hosted:
+            return
+        for worker in hosted:
+            # Frozen, not replaced: recovery has not run, so the worker
+            # object stays in place with its queue intact — exactly what
+            # a machine that stops responding looks like from outside.
+            worker.dead = True
+        self.crashes.append(
+            {
+                "process": process,
+                "at": self.sim.now,
+                "generation": self.generations[process],
+            }
+        )
+        if self._trace is not None:
+            self._trace.emit(
+                TraceEvent(
+                    "detect",
+                    self.sim.now,
+                    0.0,
+                    perf_counter(),
+                    -1,
+                    process,
+                    "crash",
+                    (),
+                    (len(hosted), self.generations[process]),
+                )
+            )
+
+    def _fence_process(self, process: int) -> int:
+        """Advance ``process``'s incarnation and settle its outstanding
+        progress copies; returns how many copies were settled.
+
+        After this, every data message and progress copy the old
+        incarnation still has in flight is provably stale and will be
+        discarded at delivery — a zombie (falsely suspected, paused, or
+        partitioned-away process) can keep talking forever without any
+        of it being applied.
+        """
+        settled = 0
+        if self._progress_fence is not None:
+            settled = self._progress_fence.settle(process)
+        self.generations[process] += 1
+        if self._trace is not None:
+            self._trace.emit(
+                TraceEvent(
+                    "detect",
+                    self.sim.now,
+                    0.0,
+                    perf_counter(),
+                    -1,
+                    process,
+                    "fence",
+                    (),
+                    (settled, self.generations[process]),
+                )
+            )
+        return settled
+
+    def _evict_process(self, process: int) -> None:
+        """Drop a quarantined process from the membership for good.
+
+        Only valid after a reassign recovery already moved its workers:
+        eviction is then the pure-bookkeeping branch of the
+        ``remove_process`` path (membership drop + rescale record)."""
+        self._execute_remove(process)
+
+    def attach_supervisor(self, config=None, autoscaler=None):
+        """Attach and start a self-healing supervisor on process 0.
+
+        Returns the started :class:`repro.runtime.supervisor.Supervisor`.
+        """
+        from .supervisor import Supervisor
+
+        self.supervisor = Supervisor(self, config, autoscaler).start()
+        return self.supervisor
+
+    # ------------------------------------------------------------------
     # Elastic rescaling: grow or shrink the live process set while the
     # computation keeps running.  Both operations wait for a *fresh*
     # durable asynchronous cut and then migrate only the moving workers
@@ -1957,7 +2210,9 @@ class ClusterComputation(Computation):
         if self._proj_table:
             node.scope_pending = self._node_scope_pending(process)
             node.defer_flush = self._defer_flush
+        node.fence = self._progress_fence
         self.nodes.append(node)
+        self.generations.append(0)
         for peer in self.nodes:
             peer.num_processes = self.num_processes
         if self.central is not None:

@@ -229,6 +229,9 @@ class ProtocolNode:
         self._in_flight: Dict[int, List[ProgressUpdate]] = {}
         self._in_flight_totals: Dict[Pointstamp, int] = {}
         self._next_seq = 0
+        #: Generation-fencing ledger for in-flight protocol copies
+        #: (installed by the cluster; see cluster._ProgressFence).
+        self.fence = None
         #: Scope-interior pending test (installed by the cluster under
         #: scoped progress tracking); None means flat behaviour.
         self.scope_pending: Optional[Callable[[Pointstamp], bool]] = None
@@ -438,25 +441,25 @@ class ProtocolNode:
         targets = self.members if self.members is not None else range(self.num_processes)
         for dst in list(targets):
             node = self.nodes[dst]
-            self.network.send(
-                self.process,
-                dst,
-                size,
-                "progress",
-                lambda node=node: node.receive(updates, covered),
-            )
+            deliver = lambda node=node: node.receive(updates, covered)
+            if self.fence is not None:
+                deliver = self.fence.register(self.process, dst, deliver)
+            self.network.send(self.process, dst, size, "progress", deliver)
 
     def _send_to_central(self, updates: List[ProgressUpdate]) -> None:
         if not updates:
             return
         seq = self._remember_in_flight(updates)
         central = self.central
+        deliver = lambda: central.accumulate(updates, (self.process, seq))
+        if self.fence is not None:
+            deliver = self.fence.register(self.process, central.process, deliver)
         self.network.send(
             self.process,
             central.process,
             wire_size(updates),
             "progress",
-            lambda: central.accumulate(updates, (self.process, seq)),
+            deliver,
         )
 
     # ------------------------------------------------------------------
@@ -540,6 +543,9 @@ class CentralAccumulator:
         self._in_flight: Dict[int, List[ProgressUpdate]] = {}
         self._in_flight_totals: Dict[Pointstamp, int] = {}
         self._next_seq = 0
+        #: Generation-fencing ledger for in-flight protocol copies
+        #: (installed by the cluster; see cluster._ProgressFence).
+        self.fence = None
         #: Scope-interior pending test; the cluster installs a
         #: *cluster-wide* variant here (it sees every process's queues),
         #: whereas each node's test covers only its own process.
@@ -744,13 +750,10 @@ class CentralAccumulator:
         targets = self.members if self.members is not None else range(self.num_processes)
         for dst in list(targets):
             node = self.nodes[dst]
-            self.network.send(
-                self.process,
-                dst,
-                size,
-                "progress",
-                lambda node=node: self._deliver(node, updates, covered),
-            )
+            deliver = lambda node=node: self._deliver(node, updates, covered)
+            if self.fence is not None:
+                deliver = self.fence.register(self.process, dst, deliver)
+            self.network.send(self.process, dst, size, "progress", deliver)
 
     def _deliver(
         self,

@@ -182,6 +182,35 @@ class Autoscaler:
             return 0.0
         return busy / (hosts * self.policy.interval)
 
+    def backfill(self, reason: str = "backfill") -> bool:
+        """Replace an evicted host immediately (the supervisor's
+        crash-loop quarantine calls this after ``_evict_process``).
+
+        Bypasses the utilization hysteresis — the fleet just lost a
+        host through no fault of the load — but still respects the
+        policy ceiling and the one-migration-at-a-time queue.  Returns
+        True when a grow was submitted.
+        """
+        cluster = self.cluster
+        now = cluster.sim.now
+        hosting = cluster._live_hosts()
+        if len(hosting) >= self.policy.max_processes:
+            return False
+        if cluster.total_workers // (len(hosting) + 1) < 1:
+            return False
+        cluster.add_process(at=now)
+        self.decisions.append(
+            {
+                "kind": "add",
+                "at": now,
+                "utilization": None,
+                "hosts": len(hosting),
+                "reason": reason,
+            }
+        )
+        self._cooldown_until = now + self.policy.cooldown
+        return True
+
     def _sample(self) -> None:
         cluster = self.cluster
         policy = self.policy

@@ -423,6 +423,16 @@ class SessionManager:
         if self._deferred:
             self._recheck_deferred()
 
+    def on_recovery(self) -> None:
+        """Failure recovery ran (oracle- or supervisor-driven): parked
+        queries re-check immediately.  A rollback can regress the
+        frontier past epochs that were already readable, so answerable
+        queries re-park transparently and retry as replay re-publishes;
+        nothing is lost or double-answered (delivery dedups by query
+        id)."""
+        if self._deferred:
+            self._recheck_deferred()
+
     def _on_publish(self, name: str, epoch: int) -> None:
         """Publish hook relayed by the runtime when an arrangement
         applies an epoch (reference runtime re-checks here; the cluster

@@ -60,6 +60,67 @@ class NetworkConfig:
     #: Mean GC pause duration (s).
     gc_pause: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Eager validation: a mistyped constant surfaces here, at
+        # construction, instead of as a nonsense virtual-time schedule
+        # deep inside a run (same convention as FaultTolerance and the
+        # rescale preconditions).
+        if self.latency < 0:
+            raise ValueError(
+                "NetworkConfig.latency must be >= 0 (got %r)" % (self.latency,)
+            )
+        if self.local_latency < 0:
+            raise ValueError(
+                "NetworkConfig.local_latency must be >= 0 (got %r)"
+                % (self.local_latency,)
+            )
+        if self.bandwidth <= 0:
+            raise ValueError(
+                "NetworkConfig.bandwidth must be > 0 bytes/s (got %r)"
+                % (self.bandwidth,)
+            )
+        if self.per_message_bytes < 0:
+            raise ValueError(
+                "NetworkConfig.per_message_bytes must be >= 0 (got %r)"
+                % (self.per_message_bytes,)
+            )
+        if not 0.0 <= self.packet_loss_probability <= 1.0:
+            raise ValueError(
+                "NetworkConfig.packet_loss_probability must be a "
+                "probability in [0, 1] (got %r)"
+                % (self.packet_loss_probability,)
+            )
+        if self.retransmit_timeout < 0:
+            raise ValueError(
+                "NetworkConfig.retransmit_timeout must be >= 0 (got %r)"
+                % (self.retransmit_timeout,)
+            )
+        if self.nagle_delay < 0:
+            raise ValueError(
+                "NetworkConfig.nagle_delay must be >= 0 (got %r)"
+                % (self.nagle_delay,)
+            )
+        if self.small_message_bytes < 0:
+            raise ValueError(
+                "NetworkConfig.small_message_bytes must be >= 0 (got %r)"
+                % (self.small_message_bytes,)
+            )
+        if self.gc_interval < 0:
+            raise ValueError(
+                "NetworkConfig.gc_interval must be >= 0 (got %r)"
+                % (self.gc_interval,)
+            )
+        if self.gc_pause < 0:
+            raise ValueError(
+                "NetworkConfig.gc_pause must be >= 0 (got %r)" % (self.gc_pause,)
+            )
+        if self.gc_pause > 0 and self.gc_interval == 0:
+            raise ValueError(
+                "NetworkConfig.gc_pause=%r needs gc_interval > 0: the "
+                "pause duration is drawn per pause, but pauses are only "
+                "scheduled when an interval is set" % (self.gc_pause,)
+            )
+
 
 @dataclass
 class TrafficStats:
@@ -104,7 +165,19 @@ class Network:
         #: Messages sent but not yet delivered.  The checkpoint barrier
         #: waits for this to reach zero; failure injection zeroes it.
         self.in_flight = 0
+        #: The subset of :attr:`in_flight` that is failure-detector
+        #: heartbeat traffic.  Heartbeats flow for as long as the
+        #: computation runs, so quiescence checks (checkpoint barriers,
+        #: empty-restore-set probes) use :attr:`data_in_flight` — they
+        #: would otherwise never fire with a supervisor attached.
+        self.heartbeat_in_flight = 0
         self._generation = 0
+        #: Injected network partitions (see :meth:`partition`): dicts
+        #: with keys ``a``, ``b``, ``start``, ``heal`` (None = never
+        #: heals) and ``one_way``.
+        self.partitions = []
+        #: Messages silently lost to a never-healing partition.
+        self.partition_drops = 0
         #: Observability sink (repro.obs.TraceSink); None = tracing off.
         self.trace = None
         if config.gc_interval > 0:
@@ -132,6 +205,12 @@ class Network:
         """Earliest time the process can do work (after any GC pause)."""
         return max(self.sim.now, self._gc_busy_until[process])
 
+    @property
+    def data_in_flight(self) -> int:
+        """In-flight messages excluding detector heartbeats — the count
+        quiescence-sensitive machinery waits on."""
+        return self.in_flight - self.heartbeat_in_flight
+
     # ------------------------------------------------------------------
     # Elastic rescaling.
     # ------------------------------------------------------------------
@@ -152,6 +231,75 @@ class Network:
         if self.config.gc_interval > 0:
             self._schedule_gc(process)
         return process
+
+    # ------------------------------------------------------------------
+    # Network partitions (fault injection for the failure detector).
+    # ------------------------------------------------------------------
+
+    def partition(
+        self,
+        a: int,
+        b: int,
+        at: float = None,
+        heal_at: float = None,
+        one_way: bool = False,
+    ) -> Dict:
+        """Cut the link between processes ``a`` and ``b``.
+
+        TCP-retransmit semantics: a message sent across the cut while
+        the partition is active is not lost outright — the sender keeps
+        retransmitting, and the message arrives one latency after
+        ``heal_at`` (plus any queueing it would have paid anyway).  A
+        partition with ``heal_at=None`` never heals: affected messages
+        are dropped silently (counted in :attr:`partition_drops`), which
+        is what makes a one-way partition produce a *zombie* — a process
+        that keeps talking but can no longer be heard.
+
+        ``one_way`` blocks only the ``a -> b`` direction; the default
+        cuts both.  Returns the partition record (mutable: a test can
+        adjust ``heal`` before traffic crosses it).
+        """
+        if a == b:
+            raise ValueError("partition(%d, %d): a process cannot be "
+                             "partitioned from itself" % (a, b))
+        for process in (a, b):
+            if not 0 <= process < self.num_processes:
+                raise ValueError(
+                    "partition endpoint %d out of range (network has %d "
+                    "processes)" % (process, self.num_processes)
+                )
+        start = self.sim.now if at is None else at
+        if heal_at is not None and heal_at <= start:
+            raise ValueError(
+                "partition heal_at=%r must be after its start %r"
+                % (heal_at, start)
+            )
+        record = {"a": a, "b": b, "start": start, "heal": heal_at,
+                  "one_way": one_way}
+        self.partitions.append(record)
+        return record
+
+    def _partition_barrier(self, src: int, dst: int, at: float):
+        """Earliest time a ``src -> dst`` message sent at ``at`` can get
+        through the active partitions: None when unobstructed, ``inf``
+        when a never-healing partition swallows it, else the latest heal
+        time among the partitions cutting the direction."""
+        barrier = None
+        for part in self.partitions:
+            if at < part["start"]:
+                continue
+            heal = part["heal"]
+            if heal is not None and at >= heal:
+                continue
+            if not (
+                (part["a"] == src and part["b"] == dst)
+                or (not part["one_way"] and part["a"] == dst and part["b"] == src)
+            ):
+                continue
+            if heal is None:
+                return float("inf")
+            barrier = heal if barrier is None else max(barrier, heal)
+        return barrier
 
     # ------------------------------------------------------------------
     # Message delivery.
@@ -175,6 +323,9 @@ class Network:
         self.stats.record(kind, wire_size)
         now = self.sim.now
         self.in_flight += 1
+        heartbeat = kind == "heartbeat"
+        if heartbeat:
+            self.heartbeat_in_flight += 1
         generation = self._generation
 
         def guarded_deliver() -> None:
@@ -183,6 +334,8 @@ class Network:
             if generation != self._generation:
                 return
             self.in_flight -= 1
+            if heartbeat:
+                self.heartbeat_in_flight -= 1
             deliver()
 
         if src == dst:
@@ -224,6 +377,27 @@ class Network:
         ):
             arrival += config.retransmit_timeout
         arrival = max(arrival, self._gc_busy_until[dst])
+        if self.partitions:
+            barrier = self._partition_barrier(src, dst, now)
+            if barrier is not None:
+                if barrier == float("inf"):
+                    # A never-healing cut: the packet and all its
+                    # retransmissions die.  The loss still settles the
+                    # in-flight accounting at the nominal arrival time
+                    # so quiescence checks are not pinned forever.
+                    self.partition_drops += 1
+
+                    def lost() -> None:
+                        if generation != self._generation:
+                            return
+                        self.in_flight -= 1
+                        if heartbeat:
+                            self.heartbeat_in_flight -= 1
+
+                    self.sim.schedule_at(arrival, lost)
+                    return arrival
+                # Retransmissions succeed one latency after the heal.
+                arrival = max(arrival, barrier + config.latency)
         # FIFO per process pair.
         key = (src, dst)
         arrival = max(arrival, self._fifo_last.get(key, 0.0))
@@ -263,6 +437,7 @@ class Network:
         """
         self._generation += 1
         self.in_flight = 0
+        self.heartbeat_in_flight = 0
         self._egress_free = [0.0] * self.num_processes
         self._ingress_free = [0.0] * self.num_processes
         self._fifo_last.clear()

@@ -12,16 +12,40 @@ These runs are deliberately heavier than the unit suite, so they are
 marked ``chaos`` and run as a separate CI leg::
 
     PYTHONPATH=src python -m pytest -m chaos -q
+
+Fault schedules (kill/rescale points) are drawn from one seeded RNG so
+a CI failure is reproducible locally: every assertion echoes the seed,
+and ``REPRO_CHAOS_SEED=<n>`` replays that exact schedule.
 """
+
+import os
+import random
 
 import pytest
 
 from tests.test_recovery import baseline, make_ft, run_cluster
 
-#: Fractions of the failure-free duration at which the kill lands:
-#: early (first cycles still assembling), mid-stream, and late (most
-#: epochs already released).
-KILL_POINTS = (0.2, 0.5, 0.8)
+#: One seed governs every drawn fault schedule in this module (export
+#: ``REPRO_CHAOS_SEED`` to replay a failure's schedule exactly).
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+def chaos_rng(*scope):
+    """An independent RNG per case, derived from the module seed plus
+    the case's identity.  String-seeded so the stream depends only on
+    ``(CHAOS_SEED, scope)`` — never on draw order elsewhere, interpreter
+    hash randomization, or which subset of the matrix runs."""
+    return random.Random(
+        "chaos:%d:%s" % (CHAOS_SEED, ":".join(str(part) for part in scope))
+    )
+
+
+def kill_points(rng, n=3):
+    """Early / mid / late kill fractions, jittered within their bands
+    so repeated CI runs with different seeds sweep the schedule space.
+    """
+    bands = ((0.15, 0.35), (0.4, 0.6), (0.65, 0.85))
+    return [rng.uniform(lo, hi) for lo, hi in bands[:n]]
 
 CHECKPOINT_MODES = ("barrier", "async")
 BACKENDS = ("inline", "mp")
@@ -49,7 +73,8 @@ def test_kill_matrix_outputs_bit_identical(mode, backend, plan):
         kwargs["pool_workers"] = 2
     if plan == "fused":
         kwargs["optimize"] = True
-    for frac in KILL_POINTS:
+    rng = chaos_rng("kill", mode, backend, plan)
+    for frac in kill_points(rng):
         ft = make_ft("checkpoint")
         ft.checkpoint_mode = mode
         out, comp = run_cluster(
@@ -59,12 +84,16 @@ def test_kill_matrix_outputs_bit_identical(mode, backend, plan):
             kill=(1, duration * frac),
             **kwargs
         )
-        assert out == expected, (mode, backend, plan, frac)
-        assert len(comp.recovery.failures) == 1
+        scenario = (mode, backend, plan, frac, "seed=%d" % CHAOS_SEED)
+        assert out == expected, scenario
+        assert len(comp.recovery.failures) == 1, scenario
         if mode == "async":
             # Async recovery must not silently degrade: the single kill
             # is handled without a whole-cluster rollback.
-            assert comp.recovery.failures[0]["mode"] in ("partial", "skip")
+            assert comp.recovery.failures[0]["mode"] in (
+                "partial",
+                "skip",
+            ), scenario
 
 
 #: Planned membership changes injected at the same schedule points as
@@ -100,7 +129,8 @@ def test_rescale_matrix_outputs_bit_identical(event, backend, plan):
         kwargs["pool_workers"] = 2
     if plan == "fused":
         kwargs["optimize"] = True
-    for frac in KILL_POINTS:
+    rng = chaos_rng("rescale", event, backend, plan)
+    for frac in kill_points(rng):
         ft = make_ft("checkpoint", policy="reassign")
         ft.checkpoint_mode = "async"
         out, comp = run_cluster(
@@ -110,12 +140,13 @@ def test_rescale_matrix_outputs_bit_identical(event, backend, plan):
             rescale=_rescale_ops(event, duration, frac),
             **kwargs
         )
-        assert out == expected, (event, backend, plan, frac)
+        scenario = (event, backend, plan, frac, "seed=%d" % CHAOS_SEED)
+        assert out == expected, scenario
         kinds = [r["kind"] for r in comp.rescales]
-        assert kinds == event.split("-"), (event, kinds)
+        assert kinds == event.split("-"), (kinds,) + scenario
         # Planned changes are not failures: nothing may escalate to a
         # whole-cluster rollback.
-        assert not comp.recovery.failures, (event, backend, plan, frac)
+        assert not comp.recovery.failures, scenario
 
 
 def _serving_run(ft, kill=None, rescale=None, shape=(2, 2)):
@@ -158,12 +189,14 @@ def test_kill_matrix_serving_case(mode):
 
     base_fresh, base_stale, comp0 = _serving_run(ft())
     duration = comp0.sim.now
-    for frac in (0.3, 0.6):
+    rng = chaos_rng("serving", mode)
+    for frac in kill_points(rng, n=2):
+        scenario = (mode, frac, "seed=%d" % CHAOS_SEED)
         fresh, stale, comp = _serving_run(ft(), kill=(1, duration * frac))
-        assert len(comp.recovery.failures) == 1
-        assert fresh == base_fresh, (mode, frac)
-        assert len(stale) == len(base_stale)
-        assert all(answer.staleness <= 3 for answer in stale), (mode, frac)
+        assert len(comp.recovery.failures) == 1, scenario
+        assert fresh == base_fresh, scenario
+        assert len(stale) == len(base_stale), scenario
+        assert all(answer.staleness <= 3 for answer in stale), scenario
 
 
 @pytest.mark.chaos
@@ -197,8 +230,10 @@ def test_kill_matrix_iteration_case(mode):
     expected, duration = baseline("iterate", (4, 1))
     ft = make_ft("checkpoint")
     ft.checkpoint_mode = mode
+    frac = chaos_rng("iterate", mode).uniform(0.3, 0.7)
     out, comp = run_cluster(
-        "iterate", (4, 1), ft=ft, kill=(2, duration * 0.5)
+        "iterate", (4, 1), ft=ft, kill=(2, duration * frac)
     )
-    assert out == expected
-    assert len(comp.recovery.failures) == 1
+    scenario = (mode, frac, "seed=%d" % CHAOS_SEED)
+    assert out == expected, scenario
+    assert len(comp.recovery.failures) == 1, scenario

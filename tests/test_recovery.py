@@ -130,10 +130,12 @@ CASES = {
 
 
 def run_cluster(
-    case, shape, ft=None, kill=None, network=None, seed=0, trace=None,
-    rescale=None, **kwargs
+    case, shape, ft=None, kill=None, crash=None, supervise=None,
+    autoscale=None, network=None, seed=0, trace=None, rescale=None,
+    partitions=None, epochs=None, **kwargs
 ):
-    program, epochs = CASES[case]
+    program, case_epochs = CASES[case]
+    epochs = case_epochs if epochs is None else epochs
     procs, wpp = shape
     comp = ClusterComputation(
         num_processes=procs,
@@ -147,6 +149,18 @@ def run_cluster(
         comp.attach_trace_sink(trace)
     inp, out = program(comp)
     comp.build()
+    autoscaler = None
+    if autoscale is not None:
+        from repro.obs import TraceSink
+        from repro.runtime import Autoscaler
+
+        autoscaler = Autoscaler(
+            comp, trace if trace is not None else TraceSink(), autoscale
+        ).start()
+    if supervise is not None:
+        comp.attach_supervisor(
+            None if supervise is True else supervise, autoscaler=autoscaler
+        )
     for op in rescale or ():
         if op[0] == "add":
             comp.add_process(at=op[1])
@@ -155,12 +169,22 @@ def run_cluster(
     if kill is not None:
         process, at = kill
         comp.kill_process(process, at=at)
+    for process, at in crash or ():
+        comp.crash_process(process, at=at)
+    for spec in partitions or ():
+        comp.network.partition(**spec)
     for epoch in epochs:
         inp.on_next(epoch)
     inp.on_completed()
     comp.run()
     assert comp.drained(), comp.debug_state()
     return out, comp
+
+
+def baseline_epochs(case, shape, epochs):
+    """Like :func:`baseline` but for a custom (extended) input."""
+    out, comp = run_cluster(case, shape, epochs=epochs)
+    return out, comp.now
 
 
 _baselines = {}

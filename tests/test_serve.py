@@ -101,6 +101,85 @@ class TestSharedArrangement:
             SharedArrangement("a", retain=0)
 
 
+class TestCompactionEdgeCases:
+    """The boundary semantics compaction must get exactly right."""
+
+    @staticmethod
+    def _filled(retain, epochs=8):
+        arr = SharedArrangement("a", retain=retain)
+        for epoch in range(epochs):
+            arr.apply(
+                epoch, {"k": {("rec", epoch): 1, ("rec", epoch - 2): -1}}
+            )
+        return arr
+
+    def test_read_exactly_at_the_floor_is_exact(self):
+        arr = self._filled(retain=1)
+        twin = self._filled(retain=1)  # never compacted
+        arr.compact(5)
+        assert arr.compacted_through == 5
+        # Epoch 5 is the floor itself: served from base, no clamp, no
+        # error — and identical to the uncompacted history's answer.
+        assert sorted(arr.lookup("k", 5)) == sorted(twin.lookup("k", 5))
+        assert arr.read_epoch(5) == 5
+
+    def test_below_floor_raises_and_clamp_answers_from_floor(self):
+        arr = self._filled(retain=1)
+        twin = self._filled(retain=1)
+        arr.compact(5)
+        # Raise-vs-clamp: the same read, both behaviours pinned.
+        with pytest.raises(CompactedEpochError, match="floor 5"):
+            arr.lookup("k", 4)
+        clamped = arr.lookup("k", 4, clamp=True)
+        assert sorted(clamped) == sorted(twin.lookup("k", 5))
+        assert arr.read_epoch(4) == 5
+
+    def test_compaction_racing_a_publish(self):
+        """A publish that lands between choosing a floor and folding it
+        must neither fold the new epoch nor corrupt reads."""
+        arr = self._filled(retain=2, epochs=6)
+        twin = self._filled(retain=2, epochs=6)
+        # The writer picked floor=published while epoch 6 was landing:
+        arr.apply(6, {"k": {("rec", 6): 1, ("rec", 4): -1}})
+        twin.apply(6, {"k": {("rec", 6): 1, ("rec", 4): -1}})
+        arr.compact(5)
+        # The retain window off the *new* published epoch survives.
+        assert arr.compacted_through == 6 - 2
+        assert 6 in arr.logs and 5 in arr.logs
+        for epoch in range(arr.compacted_through, 7):
+            assert sorted(arr.lookup("k", epoch)) == sorted(
+                twin.lookup("k", epoch)
+            ), epoch
+        # And the writer may keep publishing after the fold.
+        arr.apply(7, {"k": {("rec", 7): 1}})
+        twin.apply(7, {"k": {("rec", 7): 1}})
+        assert sorted(arr.lookup("k", 7)) == sorted(twin.lookup("k", 7))
+
+    def test_reader_floor_pins_compaction(self):
+        """Compaction never folds an epoch a reader still has queries
+        buffered for: the floor sits one below the reader's epoch."""
+        from collections import namedtuple
+        from types import SimpleNamespace
+
+        from repro.serve.arrangement import ArrangeVertex
+
+        TS = namedtuple("TS", "epoch")
+        vertex = ArrangeVertex("a", key=lambda record: record[0], retain=1)
+        for epoch in range(8):
+            vertex.arr.apply(epoch, {"k": {("rec", epoch): 1}})
+        vertex.readers = [SimpleNamespace(pending={TS(epoch=3): ["q"]})]
+        vertex.arr.compact(vertex._reader_floor())
+        assert vertex.arr.compacted_through == 2
+        # Epoch 3 is still exact for the in-flight read.
+        assert sorted(vertex.arr.lookup("k", 3)) == [
+            ("rec", e) for e in range(4)
+        ]
+        # Once the reader drains, the same call folds up to the window.
+        vertex.readers = []
+        vertex.arr.compact(vertex._reader_floor())
+        assert vertex.arr.compacted_through == 7 - 1
+
+
 class TestHysteresis:
     def test_sustain_and_dead_band(self):
         h = Hysteresis(high=0.8, low=0.2, sustain=3)
